@@ -1,0 +1,77 @@
+// Ablation: the four parallel group-by strategies of Figure 7 / the m-to-n
+// connector comparison of the early technical report ([13] Figure 9, cited
+// in Section 7.5 of the paper).
+//
+//   Sort-Groupby-M-to-N-Partitioning        (pipelined, receiver re-groups)
+//   HashSort-Groupby-M-to-N-Partitioning    (pipelined, receiver re-groups)
+//   Sort-Groupby-M-to-N-Merge-Partitioning  (materializing, preclustered)
+//   HashSort-Groupby-M-to-N-Merge-Partitioning
+//
+// Paper shape: the merging connector can be slightly faster on small
+// clusters (one-pass preclustered receiver) but loses as the cluster grows
+// (receiver-side stream coordination / materialization); HashSort beats
+// Sort when the number of distinct message destinations is small.
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace pregelix {
+namespace bench {
+namespace {
+
+constexpr size_t kWorkerRam = 1024 * 1024;
+
+void Run() {
+  Env env;
+  PrintBanner(
+      "Ablation: four group-by strategies (Figure 7; report [13] Fig. 9)",
+      "Bu et al., VLDB 2014, Sections 5.3.1 and 7.5",
+      "merging connector competitive on the small cluster, worse on the "
+      "bigger one; strategy choice matters more out-of-core");
+
+  struct Strategy {
+    const char* name;
+    GroupByStrategy groupby;
+    GroupByConnector connector;
+  };
+  const std::vector<Strategy> strategies = {
+      {"Sort+Partition", GroupByStrategy::kSort, GroupByConnector::kUnmerged},
+      {"HashSort+Partition", GroupByStrategy::kHashSort,
+       GroupByConnector::kUnmerged},
+      {"Sort+Merge", GroupByStrategy::kSort, GroupByConnector::kMerged},
+      {"HashSort+Merge", GroupByStrategy::kHashSort,
+       GroupByConnector::kMerged},
+  };
+
+  for (const auto& [label, vertices] :
+       std::vector<std::pair<std::string, int64_t>>{
+           {"in-memory Webmap", 5000}, {"out-of-core Webmap", 25000}}) {
+    Dataset dataset =
+        env.Webmap("gb-" + std::to_string(vertices), vertices, 8.0);
+    for (int workers : {2, 6}) {
+      printf("\n--- PageRank, %s, %d workers ---\n", label.c_str(), workers);
+      PrintRow({"strategy", "total", "avg-iteration"}, 22);
+      for (const Strategy& strategy : strategies) {
+        PregelixPlan plan;
+        plan.groupby = strategy.groupby;
+        plan.connector = strategy.connector;
+        Outcome outcome =
+            RunPregelix(env, dataset, Algorithm::kPageRank,
+                        env.Cluster(workers, kWorkerRam), plan);
+        PrintRow({strategy.name, Seconds(outcome.total_seconds),
+                  Seconds(outcome.avg_iteration_seconds)},
+                 22);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pregelix
+
+int main() {
+  pregelix::bench::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Reproduces Figure 12: scalability.
+//
+//   (a) Pregelix parallel speedup for PageRank, 4 dataset sizes, cluster
+//       grown 2 -> 8 workers (the paper's 8 -> 32 machines).
+//   (b) Speedup comparison of all systems on the smallest (X-Small)
+//       dataset over the same cluster growth.
+//   (c) Pregelix scale-up: dataset size grows proportionally with the
+//       cluster for PageRank / SSSP / CC.
+//
+// Paper shape: (a) Pregelix tracks the ideal line closely (slightly worse:
+// combiners lose effectiveness as partitions grow, so more bytes cross the
+// network); (b) the process-centric systems show super-linear "speedup"
+// because they are super-linearly bad when per-machine data grows —
+// several of them cannot even run the larger points on small clusters;
+// (c) the scale-up curve stays near flat, SSSP closest to ideal because it
+// sends the fewest messages.
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace pregelix {
+namespace bench {
+namespace {
+
+constexpr size_t kWorkerRam = 4 * 1024 * 1024;
+const std::vector<int> kWorkerCounts = {2, 4, 6, 8};
+
+void Run() {
+  Env env;
+  PrintBanner("Figure 12: speedup and scale-up",
+              "Bu et al., VLDB 2014, Figure 12 (a)(b)(c)",
+              "(a) near-ideal speedup, slightly worse for big data; (b) "
+              "baselines look super-linear because small clusters overload "
+              "them; (c) scale-up near flat, SSSP closest to ideal");
+
+  // --- (a) Pregelix speedup, PageRank, 4 sizes ---------------------------
+  printf("\n--- (a) Pregelix PageRank: avg iteration time relative to 2 "
+         "workers ---\n");
+  std::vector<Dataset> sizes = {
+      env.Webmap("Webmap-X-Small", 5000, 8.0),
+      env.Webmap("Webmap-Small", 10000, 8.0),
+      env.Webmap("Webmap-Medium", 20000, 8.0),
+      env.Webmap("Webmap-Large", 40000, 8.0),
+  };
+  PrintRow({"workers", "X-Small", "Small", "Medium", "Large", "Ideal"});
+  std::vector<std::vector<double>> iter_time(sizes.size());
+  for (int workers : kWorkerCounts) {
+    std::vector<std::string> cells = {std::to_string(workers)};
+    for (size_t d = 0; d < sizes.size(); ++d) {
+      Outcome outcome = RunPregelix(env, sizes[d], Algorithm::kPageRank,
+                                    env.Cluster(workers, kWorkerRam));
+      iter_time[d].push_back(outcome.avg_iteration_seconds);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.3f",
+               outcome.avg_iteration_seconds / iter_time[d][0]);
+      cells.push_back(buf);
+    }
+    char ideal[32];
+    snprintf(ideal, sizeof(ideal), "%.3f",
+             static_cast<double>(kWorkerCounts[0]) / workers);
+    cells.push_back(ideal);
+    PrintRow(cells);
+  }
+
+  // --- (b) All systems, X-Small --------------------------------------------
+  printf("\n--- (b) PageRank speedup on Webmap-X-Small, all systems "
+         "(relative to each system's 2-worker time) ---\n");
+  const Dataset& xsmall = sizes[0];
+  struct SystemRow {
+    std::string name;
+    std::vector<double> times;
+  };
+  std::vector<SystemRow> systems = {{"Pregelix", {}},
+                                    {"Giraph-mem", {}},
+                                    {"GraphLab", {}},
+                                    {"GraphX", {}}};
+  for (int workers : kWorkerCounts) {
+    systems[0].times.push_back(
+        RunPregelix(env, xsmall, Algorithm::kPageRank,
+                    env.Cluster(workers, kWorkerRam))
+            .avg_iteration_seconds);
+    int i = 1;
+    for (const auto& options :
+         {GiraphMemOptions(), GraphLabOptions(), GraphXOptions()}) {
+      Outcome outcome = RunBaseline(env, xsmall, Algorithm::kPageRank,
+                                    options, workers, kWorkerRam);
+      systems[i++].times.push_back(
+          outcome.ok ? outcome.avg_iteration_seconds : -1);
+    }
+  }
+  std::vector<std::string> header = {"workers"};
+  for (const auto& row : systems) header.push_back(row.name);
+  header.push_back("Ideal");
+  PrintRow(header);
+  for (size_t w = 0; w < kWorkerCounts.size(); ++w) {
+    std::vector<std::string> cells = {std::to_string(kWorkerCounts[w])};
+    for (const auto& row : systems) {
+      char buf[32];
+      if (row.times[w] < 0 || row.times[0] < 0) {
+        snprintf(buf, sizeof(buf), "FAIL");
+      } else {
+        snprintf(buf, sizeof(buf), "%.3f", row.times[w] / row.times[0]);
+      }
+      cells.push_back(buf);
+    }
+    char ideal[32];
+    snprintf(ideal, sizeof(ideal), "%.3f",
+             static_cast<double>(kWorkerCounts[0]) / kWorkerCounts[w]);
+    cells.push_back(ideal);
+    PrintRow(cells);
+  }
+
+  // --- (c) Pregelix scale-up ------------------------------------------------
+  printf("\n--- (c) Pregelix scale-up: data grows with the cluster "
+         "(relative per-iteration time; ideal = 1.0) ---\n");
+  PrintRow({"scale", "PageRank", "SSSP", "CC", "Ideal"});
+  std::vector<double> first(3, 0);
+  for (size_t i = 0; i < kWorkerCounts.size(); ++i) {
+    const int workers = kWorkerCounts[i];
+    Dataset web = env.Webmap("scale-web-" + std::to_string(workers),
+                             5000 * workers, 8.0);
+    Dataset btc = env.Btc("scale-btc-" + std::to_string(workers),
+                          5000 * workers, 8.94);
+    const Algorithm algorithms[3] = {Algorithm::kPageRank, Algorithm::kSssp,
+                                     Algorithm::kCc};
+    std::vector<std::string> cells = {
+        std::to_string(workers) + "x"};
+    for (int a = 0; a < 3; ++a) {
+      const Dataset& dataset = a == 0 ? web : btc;
+      Outcome outcome = RunPregelix(env, dataset, algorithms[a],
+                                    env.Cluster(workers, kWorkerRam));
+      if (i == 0) first[a] = outcome.avg_iteration_seconds;
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.3f",
+               outcome.avg_iteration_seconds / first[a]);
+      cells.push_back(buf);
+    }
+    cells.push_back("1.000");
+    PrintRow(cells);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pregelix
+
+int main() {
+  pregelix::bench::Run();
+  return 0;
+}

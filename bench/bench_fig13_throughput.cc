@@ -1,0 +1,123 @@
+// Reproduces Figure 13: multi-user throughput (jobs per hour) as the number
+// of concurrent PageRank jobs grows, on four Webmap sizes.
+//
+// Paper shape:
+//   (a) X-Small (always in-memory): jph RISES with concurrency (CPU
+//       utilization improves).
+//   (b) Small (in-memory -> minor spilling): jph still rises slightly.
+//   (c) Medium (concurrency exhausts memory): jph DROPS sharply once
+//       concurrent jobs force significant I/O.
+//   (d) Large (always disk-based): jph rises again with concurrency (CPU
+//       overlaps the ever-present I/O).
+// The baselines cannot sustain concurrent jobs at all in the paper; here
+// the jobs share each worker's buffer cache, so the same mechanism
+// (cache pressure from neighbors) produces the Medium-size collapse.
+//
+// Concurrent jobs genuinely run on concurrent threads against one shared
+// SimulatedCluster; the makespan uses the overlapped cost model (the
+// bottleneck resource dominates when jobs overlap).
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "algorithms/pagerank.h"
+#include "bench/harness.h"
+#include "common/logging.h"
+#include "dataflow/cluster.h"
+
+namespace pregelix {
+namespace bench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr size_t kWorkerRam = 1024 * 1024;
+
+/// Runs `concurrency` identical PageRank jobs at once; returns jobs/hour.
+double MeasureJph(Env& env, const Dataset& dataset, int concurrency) {
+  SimulatedCluster cluster(env.Cluster(kWorkers, kWorkerRam));
+  const std::vector<MetricsSnapshot> before = cluster.SnapshotAll();
+
+  int64_t total_supersteps = 0;
+  std::mutex mutex;
+  std::vector<std::thread> threads;
+  for (int j = 0; j < concurrency; ++j) {
+    threads.emplace_back([&env, &cluster, &dataset, &mutex,
+                          &total_supersteps]() {
+      PregelixRuntime runtime(&cluster, &env.dfs());
+      PageRankProgram program(5);
+      PageRankProgram::Adapter adapter(&program);
+      PregelixJobConfig job;
+      job.name = "jph";
+      job.input_dir = dataset.dir;
+      JobResult result;
+      Status s = runtime.Run(&adapter, job, &result);
+      PREGELIX_CHECK(s.ok()) << s.ToString();
+      std::lock_guard<std::mutex> lock(mutex);
+      total_supersteps += result.supersteps;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<MetricsSnapshot> after = cluster.SnapshotAll();
+  CostModelParams params;
+  // Pipeline-utilization bound: a single job serializes its own CPU, disk
+  // and network phases (additive); k concurrent jobs overlap one job's CPU
+  // with another's I/O, down to the bottleneck resource. The makespan is
+  // max(bottleneck-resource total, additive total / k).
+  double additive = 0;
+  double bottleneck = 0;
+  for (size_t w = 0; w < before.size(); ++w) {
+    const MetricsSnapshot delta = after[w] - before[w];
+    additive = std::max(additive, SimulatedWorkerSeconds(delta, params));
+    bottleneck =
+        std::max(bottleneck, OverlappedWorkerSeconds(delta, params));
+  }
+  double makespan =
+      std::max(bottleneck, additive / static_cast<double>(concurrency));
+  // Barriers do not overlap across jobs within one master, so they add up.
+  makespan += static_cast<double>(total_supersteps) *
+              (params.barrier_sec + params.per_worker_coord_sec * kWorkers);
+  return 3600.0 * concurrency / makespan;
+}
+
+void Run() {
+  Env env;
+  PrintBanner(
+      "Figure 13: throughput (jobs/hour) vs number of concurrent PageRank "
+      "jobs",
+      "Bu et al., VLDB 2014, Figure 13 (a)(b)(c)(d)",
+      "jph rises with concurrency for X-Small/Small/Large; it collapses for "
+      "Medium where concurrency pushes the working set out of memory");
+
+  const std::vector<std::pair<std::string, int64_t>> sizes = {
+      {"(a) X-Small (in-memory at any concurrency)", 1500},
+      {"(b) Small (minor spilling when concurrent)", 2000},
+      {"(c) Medium (concurrency exhausts memory)", 4000},
+      {"(d) Large (always disk-based)", 26000},
+  };
+  for (const auto& [label, vertices] : sizes) {
+    Dataset dataset = env.Webmap("jph-" + std::to_string(vertices), vertices,
+                                 8.0);
+    printf("\n--- %s (size/RAM = %s) ---\n", label.c_str(),
+           Ratio3(dataset.Ratio(static_cast<uint64_t>(kWorkers) *
+                                kWorkerRam))
+               .c_str());
+    PrintRow({"concurrent", "jobs/hour"});
+    for (int concurrency = 1; concurrency <= 3; ++concurrency) {
+      const double jph = MeasureJph(env, dataset, concurrency);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.1f", jph);
+      PrintRow({std::to_string(concurrency), buf});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pregelix
+
+int main() {
+  pregelix::bench::Run();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the dataflow substrate: frame
+// encode/decode, the group-by family, and external sorting. Supporting
+// numbers for the operator choices of paper Sections 4 and 5.3.1.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/temp_dir.h"
+#include "dataflow/frame.h"
+#include "dataflow/ops/sort.h"
+
+namespace pregelix {
+namespace {
+
+GroupCombiner SumCombiner() {
+  GroupCombiner c;
+  c.init = [](const Slice& payload, std::string* acc) {
+    acc->assign(payload.data(), payload.size());
+  };
+  c.step = [](const Slice& payload, std::string* acc) {
+    const double sum = DecodeDouble(acc->data()) + DecodeDouble(payload.data());
+    acc->clear();
+    PutDouble(acc, sum);
+  };
+  return c;
+}
+
+void BM_FrameAppend(benchmark::State& state) {
+  FrameTupleAppender appender(32 * 1024, 2);
+  const std::string key = OrderedKeyI64(42);
+  const std::string payload(16, 'p');
+  const Slice fields[2] = {Slice(key), Slice(payload)};
+  for (auto _ : state) {
+    if (!appender.Append(fields)) {
+      benchmark::DoNotOptimize(appender.Take());
+      appender.Append(fields);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameAppend);
+
+void BM_FrameFieldAccess(benchmark::State& state) {
+  FrameTupleAppender appender(32 * 1024, 2);
+  const std::string key = OrderedKeyI64(42);
+  const std::string payload(16, 'p');
+  const Slice fields[2] = {Slice(key), Slice(payload)};
+  while (appender.Append(fields)) {
+  }
+  const std::string frame = appender.Take();
+  FrameTupleAccessor accessor(2);
+  accessor.Reset(Slice(frame));
+  const int n = accessor.tuple_count();
+  int t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accessor.field(t, 1));
+    t = (t + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameFieldAccess);
+
+void GroupByBench(benchmark::State& state, bool hash, int64_t distinct) {
+  TempDir dir("micro-gb");
+  for (auto _ : state) {
+    SortConfig config;
+    config.memory_budget_bytes = 4 << 20;
+    config.frame_size = 32 * 1024;
+    config.scratch_prefix = dir.path() + "/gb";
+    Random rnd(7);
+    std::string payload;
+    const int n = 100000;
+    auto feed = [&](auto& grouper) {
+      for (int i = 0; i < n; ++i) {
+        const std::string key =
+            OrderedKeyI64(static_cast<int64_t>(rnd.Uniform(distinct)));
+        payload.clear();
+        PutDouble(&payload, 1.0);
+        const Slice fields[2] = {Slice(key), Slice(payload)};
+        PREGELIX_CHECK(grouper.Add(fields).ok());
+      }
+      int64_t groups = 0;
+      PREGELIX_CHECK(grouper
+                         .Finish([&](std::span<const Slice>) {
+                           ++groups;
+                           return Status::OK();
+                         })
+                         .ok());
+      benchmark::DoNotOptimize(groups);
+    };
+    if (hash) {
+      HashSortGrouper grouper(config, SumCombiner());
+      feed(grouper);
+    } else {
+      ExternalSortGrouper grouper(config, SumCombiner());
+      feed(grouper);
+    }
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+
+void BM_SortGroupByFewGroups(benchmark::State& state) {
+  GroupByBench(state, /*hash=*/false, /*distinct=*/256);
+}
+BENCHMARK(BM_SortGroupByFewGroups)->Unit(benchmark::kMillisecond);
+
+void BM_HashSortGroupByFewGroups(benchmark::State& state) {
+  // The paper: HashSort wins when the number of groups is small.
+  GroupByBench(state, /*hash=*/true, /*distinct=*/256);
+}
+BENCHMARK(BM_HashSortGroupByFewGroups)->Unit(benchmark::kMillisecond);
+
+void BM_SortGroupByManyGroups(benchmark::State& state) {
+  GroupByBench(state, /*hash=*/false, /*distinct=*/100000);
+}
+BENCHMARK(BM_SortGroupByManyGroups)->Unit(benchmark::kMillisecond);
+
+void BM_HashSortGroupByManyGroups(benchmark::State& state) {
+  GroupByBench(state, /*hash=*/true, /*distinct=*/100000);
+}
+BENCHMARK(BM_HashSortGroupByManyGroups)->Unit(benchmark::kMillisecond);
+
+void BM_ExternalSortSpilling(benchmark::State& state) {
+  TempDir dir("micro-sort");
+  for (auto _ : state) {
+    SortConfig config;
+    config.memory_budget_bytes = 256 * 1024;  // forces spills
+    config.frame_size = 32 * 1024;
+    config.scratch_prefix = dir.path() + "/s";
+    ExternalSortGrouper sorter(config);
+    Random rnd(8);
+    const int n = 100000;
+    const std::string payload(16, 'p');
+    for (int i = 0; i < n; ++i) {
+      const std::string key =
+          OrderedKeyI64(static_cast<int64_t>(rnd.Next() & 0x7fffffff));
+      const Slice fields[2] = {Slice(key), Slice(payload)};
+      PREGELIX_CHECK(sorter.Add(fields).ok());
+    }
+    int64_t out = 0;
+    PREGELIX_CHECK(sorter
+                       .Finish([&](std::span<const Slice>) {
+                         ++out;
+                         return Status::OK();
+                       })
+                       .ok());
+    benchmark::DoNotOptimize(out);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_ExternalSortSpilling)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pregelix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Reproduces Section 7.6: software simplicity.
+//
+// The paper counts lines of code: Giraph-core (a from-scratch
+// process-centric runtime: networking, message delivery, vertex storage,
+// memory management, fault tolerance) is 32,197 lines, while the Pregelix
+// core — which implements the same Pregel semantics as dataflow plans over
+// Hyracks — is just 8,514 lines.
+//
+// This repository has exactly the same structure: src/pregel (the Pregelix
+// core: plan generator + runtime driver + typed API) sits on top of reusable
+// general-purpose infrastructure (src/dataflow, src/storage, src/buffer,
+// src/io, src/dfs) that a Pregel system would otherwise have had to build
+// and maintain itself. This bench counts both at runtime from the source
+// tree and prints the leverage ratio next to the paper's.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace pregelix {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Counts non-blank, non-pure-comment lines of .h/.cc files under dir.
+int64_t CountLoc(const fs::path& dir) {
+  int64_t lines = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    const fs::path& p = it->path();
+    if (p.extension() != ".h" && p.extension() != ".cc") continue;
+    std::ifstream in(p);
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos) continue;           // blank
+      if (line.compare(start, 2, "//") == 0) continue;    // comment
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+void Run() {
+  PrintBanner("Section 7.6: software simplicity (lines of code)",
+              "Bu et al., VLDB 2014, Section 7.6",
+              "the Pregel-specific core is a small fraction of what a "
+              "from-scratch process-centric runtime must build "
+              "(paper: Pregelix-core 8,514 vs Giraph-core 32,197 = 3.8x)");
+
+  // Locate the repository's src/ relative to this source file.
+  fs::path here(__FILE__);
+  fs::path src = here.parent_path().parent_path() / "src";
+  if (!fs::exists(src)) {
+    printf("source tree not found at %s; skipping\n", src.c_str());
+    return;
+  }
+
+  const int64_t core = CountLoc(src / "pregel");
+  int64_t reused = 0;
+  printf("\n");
+  PrintRow({"module", "LoC", "role"}, 22);
+  PrintRow({"src/pregel", std::to_string(core),
+            "the Pregelix core (plans+runtime+API)"},
+           22);
+  for (const char* module :
+       {"dataflow", "storage", "buffer", "io", "dfs", "common"}) {
+    const int64_t loc = CountLoc(src / module);
+    reused += loc;
+    PrintRow({std::string("src/") + module, std::to_string(loc),
+              "general-purpose, reused (Hyracks analog)"},
+             22);
+  }
+  printf("\n");
+  PrintRow({"", "core", "reused infra", "leverage"}, 22);
+  char ratio[32];
+  snprintf(ratio, sizeof(ratio), "%.1fx",
+           static_cast<double>(reused) / static_cast<double>(core));
+  PrintRow({"this repo", std::to_string(core), std::to_string(reused),
+            ratio},
+           22);
+  PrintRow({"paper", "8,514 (Pregelix)", "32,197 (Giraph-core)", "3.8x"},
+           22);
+  printf("\nReading: a from-scratch Pregel runtime carries the whole right "
+         "column itself; building on a dataflow engine, the Pregel-specific "
+         "code is only the left column.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pregelix
+
+int main() {
+  pregelix::bench::Run();
+  return 0;
+}

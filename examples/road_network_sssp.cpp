@@ -1,0 +1,101 @@
+// Road-network routing: single source shortest paths with the left outer
+// join plan and the hints of the paper's Figure 9.
+//
+// Road networks produce extremely message-sparse Pregel executions (the
+// frontier is a thin wave), which is exactly the workload where Pregelix's
+// index left outer join plan shines: instead of scanning every vertex every
+// superstep, the runtime probes the Vertex B-tree only for the frontier
+// (paper Sections 5.3.2 and 7.5). This example builds a grid-ish road
+// network, runs SSSP both ways, and prints the per-superstep frontier to
+// show why the plans differ.
+//
+//   $ ./road_network_sssp
+
+#include <cstdio>
+
+#include "algorithms/sssp.h"
+#include "common/temp_dir.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "graph/text_io.h"
+#include "pregel/runtime.h"
+
+using namespace pregelix;
+
+namespace {
+
+/// A W x H grid with 4-neighborhood: the classic road-network shape (long
+/// diameter, constant degree).
+InMemoryGraph MakeGrid(int64_t width, int64_t height) {
+  InMemoryGraph graph;
+  graph.adj.resize(width * height);
+  auto id = [&](int64_t x, int64_t y) { return y * width + x; };
+  for (int64_t y = 0; y < height; ++y) {
+    for (int64_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        graph.adj[id(x, y)].push_back(id(x + 1, y));
+        graph.adj[id(x + 1, y)].push_back(id(x, y));
+      }
+      if (y + 1 < height) {
+        graph.adj[id(x, y)].push_back(id(x, y + 1));
+        graph.adj[id(x, y + 1)].push_back(id(x, y));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+int main() {
+  TempDir scratch("road-sssp");
+  DistributedFileSystem dfs(scratch.Sub("dfs"));
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.worker_ram_bytes = 8u << 20;
+  config.temp_root = scratch.Sub("cluster");
+  SimulatedCluster cluster(config);
+
+  const InMemoryGraph grid = MakeGrid(120, 120);
+  PREGELIX_CHECK_OK(WriteGraph(dfs, "roads", grid, 4));
+  printf("road network: %lld intersections, %llu road segments\n",
+         static_cast<long long>(grid.num_vertices()),
+         static_cast<unsigned long long>(grid.num_edges()));
+
+  auto run = [&](JoinStrategy join, const char* label) {
+    SsspProgram program(/*source=*/0);
+    SsspProgram::Adapter adapter(&program);
+    PregelixJobConfig job;
+    job.name = std::string("road-sssp-") + label;
+    job.input_dir = "roads";
+    job.output_dir = std::string("dist-") + label;
+    job.join = join;
+    // The hints from the paper's Figure 9 main():
+    job.groupby = GroupByStrategy::kHashSort;
+    job.groupby_connector = GroupByConnector::kUnmerged;
+    job.max_supersteps = 300;
+    PregelixRuntime runtime(&cluster, &dfs);
+    JobResult result;
+    PREGELIX_CHECK_OK(runtime.Run(&adapter, job, &result));
+    printf("\n%s join: %lld supersteps, %.3f simulated s total "
+           "(%.4f s/iteration)\n",
+           label, static_cast<long long>(result.supersteps),
+           result.total_sim_seconds, result.avg_iteration_sim_seconds);
+    return result;
+  };
+
+  JobResult loj = run(JoinStrategy::kLeftOuter, "left-outer");
+  JobResult foj = run(JoinStrategy::kFullOuter, "full-outer");
+
+  printf("\nfrontier per superstep (first 12): ");
+  for (size_t i = 0; i < loj.superstep_stats.size() && i < 12; ++i) {
+    printf("%lld ", static_cast<long long>(loj.superstep_stats[i].messages));
+  }
+  printf("...\nwith ~%lld vertices and a frontier this thin, the full scan "
+         "pays for every vertex every superstep:\n",
+         static_cast<long long>(loj.final_gs.num_vertices));
+  printf("left outer join is %.1fx faster per iteration here (paper "
+         "Figure 14a shows the same gap on BTC).\n",
+         foj.avg_iteration_sim_seconds / loj.avg_iteration_sim_seconds);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Web ranking at the edge of memory: the paper's motivating scenario.
+//
+// A small organization wants to rank a web crawl that is bigger than its
+// cluster's aggregate RAM (the Giraph-mailing-list users of paper
+// Section 2.3). This example runs PageRank on a crawl sized at ~2.5x the
+// cluster's memory; the dataflow runtime transparently spills — no flags,
+// no out-of-core mode, same plan — and the run statistics show the
+// buffer-cache traffic that made it possible.
+//
+//   $ ./web_ranking
+
+#include <cstdio>
+
+#include "algorithms/pagerank.h"
+#include "common/temp_dir.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "graph/generator.h"
+#include "pregel/runtime.h"
+
+using namespace pregelix;
+
+int main() {
+  TempDir scratch("web-ranking");
+  DistributedFileSystem dfs(scratch.Sub("dfs"));
+
+  // A deliberately memory-starved cluster: 2 workers x 256 KB.
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.worker_ram_bytes = 256 * 1024;
+  config.page_size = 2048;
+  config.frame_size = 8 * 1024;
+  config.temp_root = scratch.Sub("cluster");
+  SimulatedCluster cluster(config);
+
+  GraphStats stats;
+  PREGELIX_CHECK_OK(GenerateWebmapLike(dfs, "crawl", 4, 28000, 8.0, 7,
+                                       &stats));
+  const double ratio = static_cast<double>(stats.size_bytes) /
+                       static_cast<double>(config.aggregate_ram_bytes());
+  printf("crawl: %lld pages, %.2f MB text, %.2fx the cluster's RAM\n",
+         static_cast<long long>(stats.num_vertices),
+         static_cast<double>(stats.size_bytes) / (1 << 20), ratio);
+
+  PageRankProgram program(10);
+  PageRankProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "web-ranking";
+  job.input_dir = "crawl";
+  job.output_dir = "ranks";
+  PregelixRuntime runtime(&cluster, &dfs);
+  JobResult result;
+  PREGELIX_CHECK_OK(runtime.Run(&adapter, job, &result));
+
+  printf("\ncompleted %lld supersteps entirely out-of-core\n",
+         static_cast<long long>(result.supersteps));
+  printf("%-10s %-12s %-12s %-14s %-12s\n", "superstep", "sim-seconds",
+         "messages", "disk-bytes", "net-bytes");
+  for (const SuperstepStats& stats : result.superstep_stats) {
+    printf("%-10lld %-12.3f %-12lld %-14llu %-12llu\n",
+           static_cast<long long>(stats.superstep), stats.sim_seconds,
+           static_cast<long long>(stats.messages),
+           static_cast<unsigned long long>(
+               stats.cluster_delta.disk_read_bytes +
+               stats.cluster_delta.disk_write_bytes),
+           static_cast<unsigned long long>(stats.cluster_delta.net_bytes));
+  }
+  printf("\nthe same job with the same plan runs in-memory when RAM "
+         "suffices;\nthe only difference is the disk-bytes column "
+         "(paper Sections 5.4 and 7.2).\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#ifndef PREGELIX_ALGORITHMS_ALGORITHMS_H_
+#define PREGELIX_ALGORITHMS_ALGORITHMS_H_
+
+/// Umbrella header for the Pregelix built-in graph algorithm library
+/// (paper Section 6): PageRank, single source shortest paths, connected
+/// components, reachability, triangle counting, maximal cliques, and
+/// random-walk graph sampling — plus two of the Section 6 user-community
+/// building blocks (BFS spanning tree, strongly connected components).
+
+#include "algorithms/bfs_tree.h"
+#include "algorithms/connected_components.h"
+#include "algorithms/graph_sampling.h"
+#include "algorithms/list_ranking.h"
+#include "algorithms/maximal_cliques.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/reachability.h"
+#include "algorithms/scc.h"
+#include "algorithms/sssp.h"
+#include "algorithms/triangle_count.h"
+
+#endif  // PREGELIX_ALGORITHMS_ALGORITHMS_H_

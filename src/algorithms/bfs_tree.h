@@ -1,0 +1,66 @@
+#ifndef PREGELIX_ALGORITHMS_BFS_TREE_H_
+#define PREGELIX_ALGORITHMS_BFS_TREE_H_
+
+#include <algorithm>
+#include <string>
+
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// BFS spanning tree — the first of the graph-algorithm building blocks the
+/// paper's Hong Kong user group implemented on Pregelix (Section 6: "BFS
+/// (breadth first search) spanning tree, Euler tour, list ranking...").
+///
+/// Each vertex records the parent that first reached it; ties within a
+/// superstep break toward the smallest parent id, so the tree is
+/// deterministic. The vertex value is the parent id (-1 = unreached, source
+/// parents itself).
+class BfsTreeProgram : public TypedVertexProgram<int64_t, Empty, int64_t> {
+ public:
+  using Adapter = TypedProgramAdapter<int64_t, Empty, int64_t>;
+
+  explicit BfsTreeProgram(int64_t source_id) : source_id_(source_id) {}
+
+  void Compute(VertexT& vertex, MessageIterator<int64_t>& messages) override {
+    if (vertex.superstep() == 1) {
+      vertex.set_value(-1);
+      if (vertex.id() == source_id_) {
+        vertex.set_value(vertex.id());
+        vertex.SendMessageToAllEdges(vertex.id());
+      }
+      vertex.VoteToHalt();
+      return;
+    }
+    if (vertex.value() < 0) {
+      int64_t parent = -1;
+      while (messages.HasNext()) {
+        const int64_t candidate = messages.Next();
+        parent = parent < 0 ? candidate : std::min(parent, candidate);
+      }
+      if (parent >= 0) {
+        vertex.set_value(parent);
+        vertex.SendMessageToAllEdges(vertex.id());
+      }
+    }
+    vertex.VoteToHalt();
+  }
+
+  bool has_combiner() const override { return true; }
+  void Combine(int64_t* acc, const int64_t& incoming) const override {
+    *acc = std::min(*acc, incoming);
+  }
+
+  int64_t DefaultValue() const override { return -1; }
+
+  std::string FormatValue(int64_t, const int64_t& value) const override {
+    return std::to_string(value);
+  }
+
+ private:
+  int64_t source_id_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_BFS_TREE_H_

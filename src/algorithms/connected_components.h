@@ -1,0 +1,56 @@
+#ifndef PREGELIX_ALGORITHMS_CONNECTED_COMPONENTS_H_
+#define PREGELIX_ALGORITHMS_CONNECTED_COMPONENTS_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// Connected components by min-label propagation (paper Section 7: run on
+/// the undirected BTC datasets). Every vertex adopts the smallest vertex id
+/// reachable from it; on a symmetric graph this converges to the component
+/// minimum. Message-intensive at first, sparse near convergence — the
+/// workload where the two join plans tie (Figure 14c). Min combiner.
+class ConnectedComponentsProgram
+    : public TypedVertexProgram<int64_t, Empty, int64_t> {
+ public:
+  using Adapter = TypedProgramAdapter<int64_t, Empty, int64_t>;
+
+  void Compute(VertexT& vertex, MessageIterator<int64_t>& messages) override {
+    if (vertex.superstep() == 1) {
+      vertex.set_value(vertex.id());
+      vertex.SendMessageToAllEdges(vertex.id());
+      vertex.VoteToHalt();
+      return;
+    }
+    int64_t best = vertex.value();
+    while (messages.HasNext()) {
+      best = std::min(best, messages.Next());
+    }
+    if (best < vertex.value()) {
+      vertex.set_value(best);
+      vertex.SendMessageToAllEdges(best);
+    }
+    vertex.VoteToHalt();
+  }
+
+  bool has_combiner() const override { return true; }
+  void Combine(int64_t* acc, const int64_t& incoming) const override {
+    *acc = std::min(*acc, incoming);
+  }
+
+  int64_t DefaultValue() const override {
+    return std::numeric_limits<int64_t>::max();
+  }
+
+  std::string FormatValue(int64_t, const int64_t& value) const override {
+    return std::to_string(value);
+  }
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_CONNECTED_COMPONENTS_H_

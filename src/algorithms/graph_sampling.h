@@ -1,0 +1,73 @@
+#ifndef PREGELIX_ALGORITHMS_GRAPH_SAMPLING_H_
+#define PREGELIX_ALGORITHMS_GRAPH_SAMPLING_H_
+
+#include <string>
+
+#include "common/hash.h"
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// Random-walk-based graph sampling (built-in library, Section 6; the tool
+/// footnote 7 says produced the Webmap down-samples). `walkers` tokens
+/// start at deterministic seed vertices and take `steps` random-walk hops;
+/// every visited vertex is marked. Vertex value counts visits. The walk is
+/// deterministic: the next hop is chosen by hashing (vid, superstep, token).
+class GraphSamplingProgram : public TypedVertexProgram<int64_t, Empty, int64_t> {
+ public:
+  using Adapter = TypedProgramAdapter<int64_t, Empty, int64_t>;
+
+  GraphSamplingProgram(int walkers, int steps, uint64_t seed = 7)
+      : walkers_(walkers), steps_(steps), seed_(seed) {}
+
+  void Compute(VertexT& vertex, MessageIterator<int64_t>& messages) override {
+    if (vertex.superstep() == 1) {
+      vertex.set_value(0);
+      // Token t starts at the vertex whose hash matches (deterministic
+      // seeding without global coordination).
+      for (int t = 0; t < walkers_; ++t) {
+        if (static_cast<int64_t>(
+                Hash64(Slice(reinterpret_cast<const char*>(&t), 4), seed_) %
+                static_cast<uint64_t>(vertex.num_vertices())) == vertex.id()) {
+          ForwardToken(vertex, t);
+          vertex.set_value(vertex.value() + 1);
+        }
+      }
+      vertex.VoteToHalt();
+      return;
+    }
+    while (messages.HasNext()) {
+      const int64_t token = messages.Next();
+      vertex.set_value(vertex.value() + 1);
+      if (vertex.superstep() <= steps_) {
+        ForwardToken(vertex, token);
+      }
+    }
+    vertex.VoteToHalt();
+  }
+
+  std::string FormatValue(int64_t, const int64_t& value) const override {
+    return std::to_string(value);
+  }
+
+ private:
+  void ForwardToken(VertexT& vertex, int64_t token) {
+    if (vertex.edges().empty()) return;
+    uint64_t key[3] = {static_cast<uint64_t>(vertex.id()),
+                       static_cast<uint64_t>(vertex.superstep()),
+                       static_cast<uint64_t>(token)};
+    const size_t pick =
+        Hash64(Slice(reinterpret_cast<const char*>(key), sizeof(key)),
+               seed_) %
+        vertex.edges().size();
+    vertex.SendMessage(vertex.edges()[pick].dst, token);
+  }
+
+  int walkers_;
+  int steps_;
+  uint64_t seed_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_GRAPH_SAMPLING_H_

@@ -1,0 +1,91 @@
+#ifndef PREGELIX_ALGORITHMS_LIST_RANKING_H_
+#define PREGELIX_ALGORITHMS_LIST_RANKING_H_
+
+#include <string>
+#include <utility>
+
+#include "common/serde.h"
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// List ranking by pointer jumping — another Section 6 building block the
+/// paper's user community implemented on Pregelix ("Euler tour, list
+/// ranking, and pre/post-ordering").
+///
+/// Input: a linked list given as a graph where each node has exactly one
+/// out-edge to its successor (the tail has none). Output: every node's
+/// distance to the tail. Pointer jumping halves the remaining distance per
+/// round, so ranking an n-node list takes O(log n) supersteps instead of
+/// the O(n) a naive walk needs.
+///
+/// Each round is two supersteps: (request) every unfinished node asks its
+/// current successor for its state; (respond/jump) the successor replies
+/// with (its successor, its rank) and the asker folds it in:
+///     rank += rank(next);  next = next(next).
+/// A node finishes when its pointer reaches the tail.
+class ListRankingProgram
+    : public TypedVertexProgram<std::pair<int64_t, int64_t>, Empty,
+                                std::pair<int64_t, int64_t>> {
+ public:
+  /// Vertex value: (next pointer, rank so far); next == -1 means "I am the
+  /// tail / finished at the tail".
+  /// Messages: request (kAsk, asker id) or response (next, rank).
+  using MsgT = std::pair<int64_t, int64_t>;
+  using Adapter =
+      TypedProgramAdapter<std::pair<int64_t, int64_t>, Empty, MsgT>;
+
+  static constexpr int64_t kAsk = -1000000007;
+
+  void Compute(VertexT& vertex, MessageIterator<MsgT>& messages) override {
+    auto [next, rank] = vertex.value();
+    if (vertex.superstep() == 1) {
+      next = vertex.edges().empty() ? -1 : vertex.edges()[0].dst;
+      rank = vertex.edges().empty() ? 0 : 1;
+      vertex.set_value({next, rank});
+    }
+    // Fold in any responses, and answer any requests with CURRENT state
+    // (all requests in a wave carry the same round's state because every
+    // node jumps in lockstep).
+    bool jumped = false;
+    std::vector<int64_t> askers;
+    while (messages.HasNext()) {
+      const MsgT m = messages.Next();
+      if (m.first == kAsk) {
+        askers.push_back(m.second);
+      } else {
+        rank += m.second;
+        next = m.first;
+        jumped = true;
+      }
+    }
+    if (jumped) vertex.set_value({next, rank});
+    for (int64_t asker : askers) {
+      vertex.SendMessage(asker, MsgT(next, rank));
+    }
+    // Keep jumping until the pointer hits the tail.
+    const bool requesting_phase =
+        vertex.superstep() % 2 == 1;  // odd supersteps ask
+    if (requesting_phase && next >= 0) {
+      vertex.SendMessage(next, MsgT(kAsk, vertex.id()));
+    }
+    if (next < 0 && askers.empty()) {
+      vertex.VoteToHalt();
+    }
+    // Nodes still pointing somewhere (or still being asked) stay active so
+    // they can answer next superstep.
+  }
+
+  std::pair<int64_t, int64_t> DefaultValue() const override {
+    return {-1, 0};
+  }
+
+  std::string FormatValue(int64_t,
+                          const std::pair<int64_t, int64_t>& v) const override {
+    return std::to_string(v.second);
+  }
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_LIST_RANKING_H_

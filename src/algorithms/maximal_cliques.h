@@ -1,0 +1,137 @@
+#ifndef PREGELIX_ALGORITHMS_MAXIMAL_CLIQUES_H_
+#define PREGELIX_ALGORITHMS_MAXIMAL_CLIQUES_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// Maximal clique enumeration (built-in library, paper Section 6) on an
+/// undirected graph given as symmetric adjacency.
+///
+/// Superstep 1: every vertex sends its (sender-prefixed) neighbor list to
+/// all neighbors. Superstep 2: every vertex now knows the full adjacency of
+/// its closed neighborhood and runs Bron-Kerbosch with
+///   R = {self}, P = higher-id neighbors, X = lower-id neighbors,
+/// so each globally-maximal clique is counted exactly once — at its minimum
+/// member (X prunes cliques extendable downward). The global aggregate is
+/// (clique count, largest clique size) over cliques of size >= 3.
+class MaximalCliquesProgram
+    : public TypedVertexProgram<int64_t, Empty, std::vector<int64_t>> {
+ public:
+  using Adapter = TypedProgramAdapter<int64_t, Empty, std::vector<int64_t>>;
+
+  void Compute(VertexT& vertex,
+               MessageIterator<std::vector<int64_t>>& messages) override {
+    if (vertex.superstep() == 1) {
+      vertex.set_value(0);
+      const std::vector<int64_t> neighbors = Neighbors(vertex);
+      std::vector<int64_t> message;
+      message.reserve(neighbors.size() + 1);
+      message.push_back(vertex.id());
+      message.insert(message.end(), neighbors.begin(), neighbors.end());
+      for (int64_t dst : neighbors) {
+        vertex.SendMessage(dst, message);
+      }
+      vertex.VoteToHalt();
+      return;
+    }
+
+    // Superstep 2: assemble the neighborhood adjacency.
+    const std::vector<int64_t> neighbors = Neighbors(vertex);
+    std::set<std::pair<int64_t, int64_t>> links;
+    while (messages.HasNext()) {
+      const std::vector<int64_t> message = messages.Next();
+      if (message.empty()) continue;
+      const int64_t sender = message[0];
+      for (size_t i = 1; i < message.size(); ++i) {
+        links.insert({std::min(sender, message[i]),
+                      std::max(sender, message[i])});
+      }
+    }
+    auto connected = [&](int64_t a, int64_t b) {
+      if (a == vertex.id()) {
+        return std::binary_search(neighbors.begin(), neighbors.end(), b);
+      }
+      if (b == vertex.id()) {
+        return std::binary_search(neighbors.begin(), neighbors.end(), a);
+      }
+      return links.count({std::min(a, b), std::max(a, b)}) > 0;
+    };
+
+    std::vector<int64_t> p, x;
+    for (int64_t nbr : neighbors) {
+      (nbr > vertex.id() ? p : x).push_back(nbr);
+    }
+    int64_t cliques = 0;
+    int64_t max_size = 0;
+    std::vector<int64_t> r{vertex.id()};
+    BronKerbosch(r, p, x, connected, &cliques, &max_size);
+    vertex.set_value(cliques);
+    if (cliques > 0) {
+      vertex.Contribute(std::pair<int64_t, int64_t>(cliques, max_size));
+    }
+    vertex.VoteToHalt();
+  }
+
+  GlobalAggHooks AggregatorHooks() const override {
+    using P = std::pair<int64_t, int64_t>;
+    return MakeGlobalAgg<P>(P(0, 0), [](P a, P b) {
+      return P(a.first + b.first, std::max(a.second, b.second));
+    });
+  }
+
+  std::string FormatValue(int64_t, const int64_t& value) const override {
+    return std::to_string(value);
+  }
+
+ private:
+  /// Sorted, deduplicated neighbor set (self-loops dropped).
+  static std::vector<int64_t> Neighbors(const VertexT& vertex) {
+    std::vector<int64_t> out;
+    for (const EdgeT& e : vertex.edges()) {
+      if (e.dst != vertex.id()) out.push_back(e.dst);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  template <typename ConnFn>
+  static void BronKerbosch(std::vector<int64_t>& r,
+                           std::vector<int64_t> p, std::vector<int64_t> x,
+                           const ConnFn& connected, int64_t* cliques,
+                           int64_t* max_size) {
+    if (p.empty() && x.empty()) {
+      if (r.size() >= 3) {
+        ++*cliques;
+        *max_size = std::max<int64_t>(*max_size,
+                                      static_cast<int64_t>(r.size()));
+      }
+      return;
+    }
+    std::vector<int64_t> p_copy = p;
+    for (int64_t v : p_copy) {
+      std::vector<int64_t> np, nx;
+      for (int64_t u : p) {
+        if (u != v && connected(u, v)) np.push_back(u);
+      }
+      for (int64_t u : x) {
+        if (connected(u, v)) nx.push_back(u);
+      }
+      r.push_back(v);
+      BronKerbosch(r, np, nx, connected, cliques, max_size);
+      r.pop_back();
+      p.erase(std::remove(p.begin(), p.end(), v), p.end());
+      x.push_back(v);
+    }
+  }
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_MAXIMAL_CLIQUES_H_

@@ -1,0 +1,72 @@
+#ifndef PREGELIX_ALGORITHMS_PAGERANK_H_
+#define PREGELIX_ALGORITHMS_PAGERANK_H_
+
+#include <string>
+
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// PageRank (paper Section 7: the message-intensive workload, run on the
+/// Webmap datasets with the index full outer join plan).
+///
+/// Superstep 1 initializes every rank to 1/N and scatters rank/degree;
+/// supersteps 2..k+1 apply the update
+///   rank = (1-d)/N + d * (sum(in) + dangling/N)
+/// where the dangling mass is collected through the global aggregator.
+/// Votes to halt after `iterations` updates. Uses a sum combiner.
+class PageRankProgram : public TypedVertexProgram<double, Empty, double> {
+ public:
+  using ValueT = double;
+  using EdgeT2 = Empty;
+  using MsgT = double;
+  using Adapter = TypedProgramAdapter<double, Empty, double>;
+
+  explicit PageRankProgram(int iterations, double damping = 0.85)
+      : iterations_(iterations), damping_(damping) {}
+
+  void Compute(VertexT& vertex, MessageIterator<double>& messages) override {
+    const double n = static_cast<double>(vertex.num_vertices());
+    if (vertex.superstep() == 1) {
+      vertex.set_value(1.0 / n);
+    } else {
+      double sum = 0;
+      while (messages.HasNext()) sum += messages.Next();
+      double dangling = 0;
+      vertex.GetAggregate(&dangling);
+      vertex.set_value((1.0 - damping_) / n +
+                       damping_ * (sum + dangling / n));
+    }
+    if (vertex.superstep() <= iterations_) {
+      if (vertex.edges().empty()) {
+        vertex.Contribute(vertex.value());  // dangling mass
+      } else {
+        vertex.SendMessageToAllEdges(
+            vertex.value() / static_cast<double>(vertex.edges().size()));
+      }
+    } else {
+      vertex.VoteToHalt();
+    }
+  }
+
+  bool has_combiner() const override { return true; }
+  void Combine(double* acc, const double& incoming) const override {
+    *acc += incoming;
+  }
+
+  GlobalAggHooks AggregatorHooks() const override {
+    return MakeGlobalAgg<double>(0.0, [](double a, double b) { return a + b; });
+  }
+
+  std::string FormatValue(int64_t, const double& value) const override {
+    return FormatDouble(value);
+  }
+
+ private:
+  int iterations_;
+  double damping_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_PAGERANK_H_

@@ -1,0 +1,51 @@
+#ifndef PREGELIX_ALGORITHMS_REACHABILITY_H_
+#define PREGELIX_ALGORITHMS_REACHABILITY_H_
+
+#include <string>
+
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// Reachability query (built-in library, paper Section 6): marks every
+/// vertex reachable from the source along out-edges. Messages carry no
+/// payload (Empty), exercising the zero-byte message path.
+class ReachabilityProgram : public TypedVertexProgram<uint8_t, Empty, Empty> {
+ public:
+  using Adapter = TypedProgramAdapter<uint8_t, Empty, Empty>;
+
+  explicit ReachabilityProgram(int64_t source_id) : source_id_(source_id) {}
+
+  void Compute(VertexT& vertex, MessageIterator<Empty>& messages) override {
+    bool newly_reached = false;
+    if (vertex.superstep() == 1) {
+      vertex.set_value(0);
+      if (vertex.id() == source_id_) {
+        vertex.set_value(1);
+        newly_reached = true;
+      }
+    } else if (messages.HasNext() && vertex.value() == 0) {
+      vertex.set_value(1);
+      newly_reached = true;
+    }
+    if (newly_reached) {
+      vertex.SendMessageToAllEdges(Empty{});
+    }
+    vertex.VoteToHalt();
+  }
+
+  // Many identical signals collapse to one.
+  bool has_combiner() const override { return true; }
+  void Combine(Empty*, const Empty&) const override {}
+
+  std::string FormatValue(int64_t, const uint8_t& value) const override {
+    return value != 0 ? "reachable" : "unreachable";
+  }
+
+ private:
+  int64_t source_id_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_REACHABILITY_H_

@@ -1,0 +1,207 @@
+#ifndef PREGELIX_ALGORITHMS_SCC_H_
+#define PREGELIX_ALGORITHMS_SCC_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "pregel/typed.h"
+
+namespace pregelix {
+
+/// Strongly connected components for directed graphs — one of the advanced
+/// algorithms the paper's Hong Kong user group built on Pregelix
+/// ("strongly connected components for directed graphs (e.g., the Twitter
+/// follower network) [42]", Section 6).
+///
+/// Forward-backward coloring (Orzan-style), phased inside a single Pregel
+/// job with the global aggregator as the phase barrier:
+///
+///   phase 0  broadcast ids along out-edges so every vertex learns its
+///            in-edges (Pregel gives out-edges only);
+///   phase 1  forward: propagate min label along out-edges to fixpoint;
+///   phase 2  backward: roots (label == own id) propagate along in-edges
+///            within their forward region to fixpoint;
+///   phase 3  freeze: vertices reached both ways adopt the root as their
+///            SCC id and halt forever; everyone else resets and re-enters
+///            phase 1 for the next round.
+///
+/// The aggregator sums "progress" contributions; a phase advances exactly
+/// when the previous superstep made none, so all live vertices switch phase
+/// in the same superstep. Non-frozen vertices never vote to halt (they must
+/// observe the barrier), so the job ends when every vertex is frozen.
+///
+/// Exercises: struct-valued vertices, tagged messages without a combiner,
+/// aggregator-driven control flow, long multi-phase executions.
+class SccProgram : public TypedVertexProgram<std::string, Empty,
+                                             std::pair<int8_t, int64_t>> {
+ public:
+  using MsgT = std::pair<int8_t, int64_t>;
+  using Adapter = TypedProgramAdapter<std::string, Empty, MsgT>;
+
+  static constexpr int8_t kTagInEdge = 0;
+  static constexpr int8_t kTagForward = 1;
+  static constexpr int8_t kTagBackward = 2;
+
+  /// Decoded vertex state (serialized into the std::string value).
+  struct State {
+    uint8_t phase = 0;
+    int64_t fwd = -1;
+    int64_t scc = -1;          ///< -1 until frozen
+    bool reached_back = false;
+    std::vector<int64_t> in_edges;
+
+    std::string Encode() const {
+      std::string out;
+      out.push_back(static_cast<char>(phase));
+      PutFixed64(&out, static_cast<uint64_t>(fwd));
+      PutFixed64(&out, static_cast<uint64_t>(scc));
+      out.push_back(reached_back ? 1 : 0);
+      PutFixed32(&out, static_cast<uint32_t>(in_edges.size()));
+      for (int64_t e : in_edges) PutFixed64(&out, static_cast<uint64_t>(e));
+      return out;
+    }
+    static State Decode(const std::string& bytes) {
+      State s;
+      if (bytes.size() < 22) return s;
+      const char* p = bytes.data();
+      s.phase = static_cast<uint8_t>(p[0]);
+      s.fwd = static_cast<int64_t>(DecodeFixed64(p + 1));
+      s.scc = static_cast<int64_t>(DecodeFixed64(p + 9));
+      s.reached_back = p[17] != 0;
+      const uint32_t n = DecodeFixed32(p + 18);
+      const char* e = p + 22;
+      for (uint32_t i = 0; i < n && e + 8 <= bytes.data() + bytes.size();
+           ++i, e += 8) {
+        s.in_edges.push_back(static_cast<int64_t>(DecodeFixed64(e)));
+      }
+      return s;
+    }
+  };
+
+  void Compute(VertexT& vertex, MessageIterator<MsgT>& messages) override {
+    State state = State::Decode(vertex.value());
+    if (state.scc >= 0) {
+      // Frozen: ignore stray messages, stay asleep.
+      vertex.VoteToHalt();
+      return;
+    }
+    int64_t progress = 0;
+    // Did the whole graph make progress last superstep? Zero => advance.
+    int64_t last_progress = 1;
+    if (vertex.superstep() > 1) vertex.GetAggregate(&last_progress);
+    const bool advance = vertex.superstep() > 1 && last_progress == 0;
+
+    switch (state.phase) {
+      case 0: {  // discover in-edges
+        if (vertex.superstep() == 1) {
+          for (const EdgeT& e : vertex.edges()) {
+            vertex.SendMessage(e.dst, MsgT(kTagInEdge, vertex.id()));
+          }
+          progress = 1;  // hold everyone in phase 0 one more superstep
+        } else {
+          while (messages.HasNext()) {
+            const MsgT m = messages.Next();
+            if (m.first == kTagInEdge) state.in_edges.push_back(m.second);
+          }
+          std::sort(state.in_edges.begin(), state.in_edges.end());
+          state.in_edges.erase(
+              std::unique(state.in_edges.begin(), state.in_edges.end()),
+              state.in_edges.end());
+          state.phase = 1;
+          state.fwd = vertex.id();
+          for (const EdgeT& e : vertex.edges()) {
+            vertex.SendMessage(e.dst, MsgT(kTagForward, state.fwd));
+          }
+          progress = 1;
+        }
+        break;
+      }
+      case 1: {  // forward min-label to fixpoint
+        int64_t best = state.fwd;
+        while (messages.HasNext()) {
+          const MsgT m = messages.Next();
+          if (m.first == kTagForward) best = std::min(best, m.second);
+        }
+        if (best < state.fwd) {
+          state.fwd = best;
+          for (const EdgeT& e : vertex.edges()) {
+            vertex.SendMessage(e.dst, MsgT(kTagForward, state.fwd));
+          }
+          progress = 1;
+        } else if (advance) {
+          // Fixpoint: enter the backward phase; roots seed it.
+          state.phase = 2;
+          state.reached_back = state.fwd == vertex.id();
+          if (state.reached_back) {
+            for (int64_t src : state.in_edges) {
+              vertex.SendMessage(src, MsgT(kTagBackward, state.fwd));
+            }
+            progress = 1;
+          }
+        }
+        break;
+      }
+      case 2: {  // backward within the forward region
+        bool newly_reached = false;
+        while (messages.HasNext()) {
+          const MsgT m = messages.Next();
+          if (m.first == kTagBackward && m.second == state.fwd &&
+              !state.reached_back) {
+            state.reached_back = true;
+            newly_reached = true;
+          }
+        }
+        if (newly_reached) {
+          for (int64_t src : state.in_edges) {
+            vertex.SendMessage(src, MsgT(kTagBackward, state.fwd));
+          }
+          progress = 1;
+        } else if (advance) {
+          // Fixpoint: freeze or start the next round.
+          if (state.reached_back) {
+            state.scc = state.fwd;
+            vertex.set_value(state.Encode());
+            vertex.Contribute<int64_t>(0);
+            vertex.VoteToHalt();
+            return;
+          }
+          state.phase = 1;
+          state.fwd = vertex.id();
+          for (const EdgeT& e : vertex.edges()) {
+            vertex.SendMessage(e.dst, MsgT(kTagForward, state.fwd));
+          }
+          progress = 1;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    vertex.set_value(state.Encode());
+    vertex.Contribute(progress);
+    // Stay awake: phase barriers need every unfrozen vertex to observe the
+    // aggregate next superstep.
+  }
+
+  GlobalAggHooks AggregatorHooks() const override {
+    return MakeGlobalAgg<int64_t>(
+        0, [](int64_t a, int64_t b) { return a + b; });
+  }
+
+  std::string InitialValue(int64_t,
+                           const std::vector<int64_t>&) const override {
+    return State().Encode();
+  }
+  std::string DefaultValue() const override { return State().Encode(); }
+
+  std::string FormatValue(int64_t vid, const std::string& v) const override {
+    const State state = State::Decode(v);
+    return std::to_string(state.scc >= 0 ? state.scc : vid);
+  }
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_ALGORITHMS_SCC_H_

@@ -1,0 +1,61 @@
+#ifndef PREGELIX_BASELINES_MEMORY_METER_H_
+#define PREGELIX_BASELINES_MEMORY_METER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pregelix {
+
+/// Byte-accounted memory budget for one simulated baseline worker.
+///
+/// The process-centric systems of the paper hold their working set in
+/// language-runtime object graphs; `overhead_factor` stands in for that
+/// runtime bloat (object headers, references, boxing — cf. the bloat-aware
+/// design paper [14] the authors wrote about exactly this). When charged
+/// bytes exceed the budget the meter returns OutOfMemory, which is how the
+/// baselines reproduce the failure thresholds of Figures 10-11.
+class MemoryMeter {
+ public:
+  MemoryMeter(size_t budget_bytes, double overhead_factor)
+      : budget_(budget_bytes), factor_(overhead_factor) {}
+
+  /// Charges `logical_bytes` of application data (the meter applies the
+  /// overhead factor). Fails when the budget would be exceeded.
+  Status Charge(uint64_t logical_bytes, const char* what) {
+    const uint64_t physical =
+        static_cast<uint64_t>(static_cast<double>(logical_bytes) * factor_);
+    if (used_ + physical > budget_) {
+      return Status::OutOfMemory(
+          std::string(what) + ": needs " + std::to_string(used_ + physical) +
+          " bytes, budget " + std::to_string(budget_));
+    }
+    used_ += physical;
+    peak_ = std::max(peak_, used_);
+    return Status::OK();
+  }
+
+  void Release(uint64_t logical_bytes) {
+    const uint64_t physical =
+        static_cast<uint64_t>(static_cast<double>(logical_bytes) * factor_);
+    used_ = physical > used_ ? 0 : used_ - physical;
+  }
+
+  void ReleaseAll() { used_ = 0; }
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t peak_bytes() const { return peak_; }
+  uint64_t budget_bytes() const { return budget_; }
+
+ private:
+  uint64_t budget_;
+  double factor_;
+  uint64_t used_ = 0;
+  uint64_t peak_ = 0;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_BASELINES_MEMORY_METER_H_

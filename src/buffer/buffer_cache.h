@@ -1,0 +1,158 @@
+#ifndef PREGELIX_BUFFER_BUFFER_CACHE_H_
+#define PREGELIX_BUFFER_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "io/file.h"
+
+namespace pregelix {
+
+using PageId = uint32_t;
+
+class BufferCache;
+
+/// Pinned view of one page in the buffer pool. Must be unpinned (or
+/// destroyed) before the page can be evicted. Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return cache_ != nullptr; }
+  char* data() const { return data_; }
+  PageId page_id() const { return page_id_; }
+
+  /// Marks the page dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  friend class BufferCache;
+  BufferCache* cache_ = nullptr;
+  int slot_ = -1;
+  char* data_ = nullptr;
+  PageId page_id_ = 0;
+  bool dirty_pending_ = false;
+};
+
+/// Shared LRU buffer pool over paged files (one per simulated worker).
+///
+/// This is the component that makes the whole stack "gracefully spill to disk
+/// only when necessary using a standard replacement policy, i.e., LRU"
+/// (paper Section 5.4). B-trees and LSM B-trees allocate all their pages
+/// through it; when the working set exceeds `capacity_pages`, unpinned pages
+/// are evicted (with write-back if dirty) and the resulting I/O is metered,
+/// which is exactly what moves a workload from the in-memory regime to the
+/// out-of-core regime in the experiments.
+///
+/// Thread-safe: concurrent jobs in the throughput experiment (Figure 13)
+/// share one cache per worker.
+class BufferCache {
+ public:
+  BufferCache(size_t page_size, size_t capacity_pages, WorkerMetrics* metrics);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  size_t page_size() const { return page_size_; }
+  size_t capacity_pages() const { return capacity_pages_; }
+  WorkerMetrics* metrics() const { return metrics_; }
+
+  /// Opens (or creates) a paged file; returns a cache-local file id.
+  Status OpenFile(const std::string& path, int* file_id);
+
+  /// Flushes dirty pages and drops cached pages of the file; the id becomes
+  /// invalid.
+  Status CloseFile(int file_id);
+
+  /// Closes (without flushing) and unlinks the file.
+  Status DeleteFile(int file_id);
+
+  /// Number of pages currently in the file.
+  uint32_t NumPages(int file_id) const;
+
+  /// Pins page `page` of `file_id`. The page must exist.
+  Status Pin(int file_id, PageId page, PageHandle* out);
+
+  /// Appends a zeroed page to the file and pins it.
+  Status AllocatePage(int file_id, PageHandle* out);
+
+  /// Writes back all dirty pages of the file (keeps them cached).
+  Status FlushFile(int file_id);
+
+  // --- introspection for tests and stats ---
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+  uint64_t eviction_count() const { return evictions_; }
+  size_t pages_in_use() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Slot {
+    std::string data;
+    int file_id = -1;
+    PageId page_id = 0;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    std::list<int>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  struct FileEntry {
+    std::unique_ptr<RandomAccessFile> file;
+    uint32_t num_pages = 0;
+    bool open = false;
+    std::string path;
+    PageId last_miss_page = 0;  ///< elevator-model seek tracking
+    bool touched = false;
+  };
+
+  static uint64_t Key(int file_id, PageId page) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(file_id)) << 32) |
+           page;
+  }
+
+  void Unpin(int slot, bool dirty);
+
+  // All Locked methods require mutex_ held.
+  Status GetFreeSlotLocked(int* slot_out);
+  Status WriteBackLocked(Slot& slot);
+  Status PinExistingOrLoadLocked(int file_id, PageId page, bool load,
+                                 PageHandle* out);
+  void TouchLocked(int slot);
+
+  const size_t page_size_;
+  const size_t capacity_pages_;
+  WorkerMetrics* const metrics_;
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::list<int> lru_;  ///< unpinned slots, least-recently-used first
+  std::unordered_map<uint64_t, int> page_table_;
+  std::vector<FileEntry> files_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_BUFFER_BUFFER_CACHE_H_

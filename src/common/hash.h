@@ -1,0 +1,43 @@
+#ifndef PREGELIX_COMMON_HASH_H_
+#define PREGELIX_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/slice.h"
+
+namespace pregelix {
+
+/// 64-bit FNV-1a over a byte range. Deterministic across platforms; used for
+/// hash partitioning and the hash group-by table.
+inline uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  // Final avalanche (splitmix64 tail) so short keys spread well.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Hashes a vertex id directly (used by the default hash partitioner).
+inline uint64_t HashVid(int64_t vid) {
+  uint64_t h = static_cast<uint64_t>(vid) * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_HASH_H_

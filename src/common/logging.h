@@ -1,0 +1,74 @@
+#ifndef PREGELIX_COMMON_LOGGING_H_
+#define PREGELIX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pregelix {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default kWarn so
+/// tests and benches stay quiet unless asked.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets the ternary in PREGELIX_CHECK have type void on both arms while the
+/// << chain still binds tighter than &.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define PLOG(level)                                                     \
+  ::pregelix::internal_logging::LogMessage(                             \
+      ::pregelix::LogLevel::k##level, __FILE__, __LINE__)               \
+      .stream()
+
+/// CHECK-style invariant assertions: always on, abort with a message.
+#define PREGELIX_CHECK(cond)                                            \
+  (cond) ? (void)0                                                      \
+         : ::pregelix::internal_logging::Voidify() &                    \
+           ::pregelix::internal_logging::LogMessage(                    \
+               ::pregelix::LogLevel::kError, __FILE__, __LINE__, true)  \
+               .stream()                                                \
+           << "Check failed: " #cond " "
+
+#define PREGELIX_CHECK_OK(expr)                                         \
+  do {                                                                  \
+    ::pregelix::Status _st = (expr);                                    \
+    PREGELIX_CHECK(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+#define PREGELIX_DCHECK(cond) PREGELIX_CHECK(cond)
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_LOGGING_H_

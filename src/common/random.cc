@@ -1,0 +1,19 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace pregelix {
+
+uint64_t Random::Skewed(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse transform of the continuous power-law density on [1, n+1):
+  // x = ((u * (hi^(1-theta) - 1)) + 1)^(1/(1-theta)).
+  const double one_minus = 1.0 - theta;
+  const double hi = std::pow(static_cast<double>(n + 1), one_minus);
+  const double u = NextDouble();
+  const double x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus);
+  uint64_t v = static_cast<uint64_t>(x) - 1;
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace pregelix

@@ -1,0 +1,51 @@
+#ifndef PREGELIX_COMMON_RANDOM_H_
+#define PREGELIX_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace pregelix {
+
+/// Deterministic xorshift128+ generator. All data generation in the repo is
+/// seeded so experiments and tests are reproducible bit-for-bit.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bull) {
+    s0_ = seed ^ 0x9e3779b97f4a7c15ull;
+    s1_ = seed * 0xbf58476d1ce4e5b9ull + 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed value in [0, n): value v is drawn with probability
+  /// proportional to 1/(v+1)^theta, approximated via rejection-free inverse
+  /// power sampling. Used for power-law out-degree and endpoint selection.
+  uint64_t Skewed(uint64_t n, double theta = 0.99);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_RANDOM_H_

@@ -1,0 +1,91 @@
+#ifndef PREGELIX_COMMON_SERDE_H_
+#define PREGELIX_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace pregelix {
+
+// Little-endian fixed-width encoding, used inside tuples and pages.
+
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+inline void PutDouble(std::string* dst, double v) {
+  char buf[8];
+  memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+inline double DecodeDouble(const char* src) {
+  double v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+/// Length-prefixed byte string.
+inline void PutLengthPrefixed(std::string* dst, const Slice& s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+/// Reads a length-prefixed byte string from `input`, advancing it. Returns
+/// false on truncation.
+inline bool GetLengthPrefixed(Slice* input, Slice* out) {
+  if (input->size() < 4) return false;
+  uint32_t len = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  if (input->size() < len) return false;
+  *out = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+// Big-endian (order-preserving) encodings for index keys: memcmp order on
+// the encoded bytes equals numeric order on the value.
+
+/// Encodes a signed 64-bit vertex id into 8 bytes whose memcmp order matches
+/// the numeric order (sign bit flipped, big-endian).
+inline void EncodeOrderedI64(char* dst, int64_t value) {
+  uint64_t u = static_cast<uint64_t>(value) ^ (1ull << 63);
+  for (int i = 7; i >= 0; --i) {
+    dst[7 - i] = static_cast<char>((u >> (i * 8)) & 0xff);
+  }
+}
+inline int64_t DecodeOrderedI64(const char* src) {
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return static_cast<int64_t>(u ^ (1ull << 63));
+}
+inline std::string OrderedKeyI64(int64_t value) {
+  std::string s(8, '\0');
+  EncodeOrderedI64(s.data(), value);
+  return s;
+}
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_SERDE_H_

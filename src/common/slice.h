@@ -1,0 +1,70 @@
+#ifndef PREGELIX_COMMON_SLICE_H_
+#define PREGELIX_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace pregelix {
+
+/// A non-owning view over a byte range, in the style of leveldb::Slice.
+///
+/// Used for index keys/values and tuple fields. The referenced storage must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  /// Implicit construction from std::string is intentional: keys are often
+  /// built in std::string buffers.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(strlen(cstr)) {}      // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  /// Three-way lexicographic (memcmp) comparison.
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  void remove_prefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_SLICE_H_

@@ -1,0 +1,60 @@
+#include "common/temp_dir.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.h"
+
+namespace pregelix {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::atomic<uint64_t> g_dir_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const char* base = getenv("TMPDIR");
+  fs::path root = base != nullptr ? base : "/tmp";
+  const uint64_t stamp =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fs::path candidate =
+        root / (prefix + "-" + std::to_string(stamp) + "-" +
+                std::to_string(g_dir_counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      path_ = candidate.string();
+      return;
+    }
+  }
+  PREGELIX_CHECK(false) << "could not create temp dir under " << root;
+}
+
+TempDir::~TempDir() {
+  if (!keep_ && !path_.empty()) {
+    RemoveAll(path_);
+  }
+}
+
+std::string TempDir::Sub(const std::string& name) const {
+  fs::path p = fs::path(path_) / name;
+  std::error_code ec;
+  fs::create_directories(p, ec);
+  return p.string();
+}
+
+bool EnsureDir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  return !ec || fs::exists(path);
+}
+
+void RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+}
+
+}  // namespace pregelix

@@ -1,0 +1,42 @@
+#ifndef PREGELIX_COMMON_TEMP_DIR_H_
+#define PREGELIX_COMMON_TEMP_DIR_H_
+
+#include <string>
+
+namespace pregelix {
+
+/// RAII scratch directory; removed recursively on destruction.
+///
+/// Tests and benchmarks create one per run; the cluster places per-worker
+/// scratch subdirectories and the simulated DFS under it.
+class TempDir {
+ public:
+  /// Creates a unique directory under $TMPDIR (or /tmp) with the prefix.
+  explicit TempDir(const std::string& prefix = "pregelix");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Creates (if needed) and returns a subdirectory path.
+  std::string Sub(const std::string& name) const;
+
+  /// Keeps the directory on destruction (for debugging).
+  void Keep() { keep_ = true; }
+
+ private:
+  std::string path_;
+  bool keep_ = false;
+};
+
+/// mkdir -p. Returns false on failure.
+bool EnsureDir(const std::string& path);
+
+/// rm -rf. Missing path is not an error.
+void RemoveAll(const std::string& path);
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_TEMP_DIR_H_

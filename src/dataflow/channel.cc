@@ -1,0 +1,98 @@
+#include "dataflow/channel.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace pregelix {
+
+namespace {
+constexpr auto kAbortPollInterval = std::chrono::milliseconds(20);
+}  // namespace
+
+FrameChannel::FrameChannel(size_t capacity_frames, Policy policy,
+                           std::string spill_path,
+                           WorkerMetrics* spill_metrics,
+                           std::atomic<bool>* abort, int num_senders)
+    : capacity_(capacity_frames == 0 ? 1 : capacity_frames),
+      policy_(policy),
+      spill_path_(std::move(spill_path)),
+      spill_metrics_(spill_metrics),
+      abort_(abort),
+      senders_open_(num_senders) {}
+
+Status FrameChannel::Put(std::string frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy_ == Policy::kSenderMaterialize) {
+    if (spill_writer_ == nullptr) {
+      PREGELIX_RETURN_NOT_OK(
+          RunFileWriter::Open(spill_path_, spill_metrics_, &spill_writer_));
+    }
+    ++frames_;
+    return spill_writer_->AppendBlock(frame);
+  }
+  while (queue_.size() >= capacity_) {
+    if (abort_ != nullptr && abort_->load()) {
+      return Status::Aborted("job aborted");
+    }
+    cv_.wait_for(lock, kAbortPollInterval);
+  }
+  queue_.push_back(std::move(frame));
+  ++frames_;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status FrameChannel::CloseSender() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PREGELIX_CHECK(senders_open_ > 0);
+  --senders_open_;
+  if (senders_open_ == 0 && policy_ == Policy::kSenderMaterialize &&
+      spill_writer_ != nullptr) {
+    PREGELIX_RETURN_NOT_OK(spill_writer_->Finish());
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+bool FrameChannel::Get(std::string* frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy_ == Policy::kSenderMaterialize) {
+    // Wait for all senders, then stream the spill file.
+    while (!AllSendersDone()) {
+      if (abort_ != nullptr && abort_->load()) return false;
+      cv_.wait_for(lock, kAbortPollInterval);
+    }
+    if (spill_writer_ == nullptr) return false;  // nothing was sent
+    if (spill_reader_ == nullptr) {
+      Status s =
+          RunFileReader::Open(spill_path_, spill_metrics_, &spill_reader_);
+      if (!s.ok()) {
+        PLOG(Error) << "channel spill open failed: " << s.ToString();
+        return false;
+      }
+    }
+    Status s = spill_reader_->NextBlock(frame);
+    if (s.IsNotFound()) {
+      // Stream exhausted: the spill file is single-use scratch.
+      spill_reader_.reset();
+      spill_writer_.reset();
+      DeleteFileIfExists(spill_path_);
+      return false;
+    }
+    return s.ok();
+  }
+  for (;;) {
+    if (!queue_.empty()) {
+      *frame = std::move(queue_.front());
+      queue_.pop_front();
+      cv_.notify_all();
+      return true;
+    }
+    if (AllSendersDone()) return false;
+    if (abort_ != nullptr && abort_->load()) return false;
+    cv_.wait_for(lock, kAbortPollInterval);
+  }
+}
+
+}  // namespace pregelix

@@ -1,0 +1,52 @@
+#include "dataflow/cluster.h"
+
+#include "common/logging.h"
+#include "common/temp_dir.h"
+
+namespace pregelix {
+
+SimulatedCluster::SimulatedCluster(const ClusterConfig& config)
+    : config_(config.Derive()) {
+  PREGELIX_CHECK(!config_.temp_root.empty())
+      << "ClusterConfig.temp_root must be set";
+  PREGELIX_CHECK(config_.num_workers > 0);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->dir = config_.temp_root + "/worker-" + std::to_string(w);
+    PREGELIX_CHECK(EnsureDir(worker->dir));
+    worker->metrics = std::make_unique<WorkerMetrics>();
+    worker->cache = std::make_unique<BufferCache>(
+        config_.page_size, config_.buffer_cache_pages, worker->metrics.get());
+    workers_.push_back(std::move(worker));
+  }
+}
+
+std::string SimulatedCluster::partition_dir(int partition) const {
+  return workers_[worker_of_partition(partition)]->dir + "/p" +
+         std::to_string(partition);
+}
+
+std::vector<MetricsSnapshot> SimulatedCluster::SnapshotAll() const {
+  std::vector<MetricsSnapshot> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    out.push_back(worker->metrics->Snapshot());
+  }
+  return out;
+}
+
+Status SimulatedCluster::FailWorker(int worker) {
+  PREGELIX_CHECK(worker >= 0 && worker < num_workers());
+  Worker& w = *workers_[worker];
+  // Drop the buffer cache (all open files and cached pages die with the
+  // machine), then wipe and recreate its scratch directory.
+  w.cache = std::make_unique<BufferCache>(
+      config_.page_size, config_.buffer_cache_pages, w.metrics.get());
+  RemoveAll(w.dir);
+  if (!EnsureDir(w.dir)) {
+    return Status::IoError("cannot recreate worker dir " + w.dir);
+  }
+  return Status::OK();
+}
+
+}  // namespace pregelix

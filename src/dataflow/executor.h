@@ -1,0 +1,23 @@
+#ifndef PREGELIX_DATAFLOW_EXECUTOR_H_
+#define PREGELIX_DATAFLOW_EXECUTOR_H_
+
+#include "common/status.h"
+#include "dataflow/cluster.h"
+#include "dataflow/job.h"
+
+namespace pregelix {
+
+/// Executes a dataflow job on the simulated cluster and blocks until it
+/// finishes. Every (operator, partition) clone runs on its own thread, like
+/// Hyracks tasks; connectors move frames through FrameChannels. On the first
+/// task failure the job aborts: the shared abort flag unblocks all channel
+/// waits and the first error is returned.
+///
+/// `runtime_context` is passed through to every TaskContext (the per-job
+/// state hook used by the Pregelix layer).
+Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
+              void* runtime_context = nullptr);
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_DATAFLOW_EXECUTOR_H_

@@ -1,0 +1,112 @@
+#include "dataflow/frame.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace pregelix {
+
+// ---------------------------------------------------------------------------
+// FrameTupleAccessor
+
+int FrameTupleAccessor::tuple_count() const {
+  if (frame_.size() < 4) return 0;
+  return static_cast<int>(DecodeFixed32(frame_.data() + frame_.size() - 4));
+}
+
+uint32_t FrameTupleAccessor::TupleEnd(int t) const {
+  return DecodeFixed32(frame_.data() + frame_.size() - 8 - 4u * t);
+}
+
+uint32_t FrameTupleAccessor::TupleStart(int t) const {
+  return t == 0 ? 0 : TupleEnd(t - 1);
+}
+
+Slice FrameTupleAccessor::tuple_bytes(int t) const {
+  const uint32_t start = TupleStart(t);
+  return Slice(frame_.data() + start, TupleEnd(t) - start);
+}
+
+Slice FrameTupleAccessor::field(int t, int f) const {
+  const char* tuple = frame_.data() + TupleStart(t);
+  const uint32_t data_start = 4u * field_count_;
+  const uint32_t field_start = f == 0 ? 0 : DecodeFixed32(tuple + 4 * (f - 1));
+  const uint32_t field_end = DecodeFixed32(tuple + 4 * f);
+  return Slice(tuple + data_start + field_start, field_end - field_start);
+}
+
+// ---------------------------------------------------------------------------
+// FrameTupleAppender
+
+FrameTupleAppender::FrameTupleAppender(size_t frame_size, int field_count)
+    : frame_size_(frame_size), field_count_(field_count) {
+  Reset();
+}
+
+void FrameTupleAppender::Reset() {
+  buffer_.assign(frame_size_, '\0');
+  data_end_ = 0;
+  count_ = 0;
+  slots_.clear();
+}
+
+bool FrameTupleAppender::EnsureRoom(size_t tuple_size) {
+  // Needed: tuple bytes + one new slot + existing slots + count word.
+  const size_t needed = data_end_ + tuple_size + 4u * (count_ + 1) + 4u;
+  if (needed <= buffer_.size()) return true;
+  if (count_ > 0) return false;  // caller flushes and retries
+  // Oversized single tuple: grow this (empty) frame to fit exactly.
+  buffer_.assign(tuple_size + 8, '\0');
+  return true;
+}
+
+bool FrameTupleAppender::Append(std::span<const Slice> fields) {
+  PREGELIX_DCHECK(static_cast<int>(fields.size()) == field_count_);
+  size_t data_size = 0;
+  for (const Slice& f : fields) data_size += f.size();
+  const size_t tuple_size = 4u * field_count_ + data_size;
+  if (!EnsureRoom(tuple_size)) return false;
+
+  char* out = buffer_.data() + data_end_;
+  uint32_t end = 0;
+  for (int f = 0; f < field_count_; ++f) {
+    end += static_cast<uint32_t>(fields[f].size());
+    EncodeFixed32(out + 4 * f, end);
+  }
+  char* data = out + 4u * field_count_;
+  for (const Slice& f : fields) {
+    memcpy(data, f.data(), f.size());
+    data += f.size();
+  }
+  data_end_ += tuple_size;
+  slots_.push_back(static_cast<uint32_t>(data_end_));
+  ++count_;
+  return true;
+}
+
+bool FrameTupleAppender::AppendRaw(const Slice& tuple_bytes) {
+  if (!EnsureRoom(tuple_bytes.size())) return false;
+  memcpy(buffer_.data() + data_end_, tuple_bytes.data(), tuple_bytes.size());
+  data_end_ += tuple_bytes.size();
+  slots_.push_back(static_cast<uint32_t>(data_end_));
+  ++count_;
+  return true;
+}
+
+void FrameTupleAppender::Finalize() {
+  char* end = buffer_.data() + buffer_.size();
+  EncodeFixed32(end - 4, static_cast<uint32_t>(count_));
+  for (int i = 0; i < count_; ++i) {
+    EncodeFixed32(end - 8 - 4 * i, slots_[i]);
+  }
+}
+
+std::string FrameTupleAppender::Take() {
+  Finalize();
+  std::string out = std::move(buffer_);
+  Reset();
+  return out;
+}
+
+}  // namespace pregelix

@@ -1,0 +1,91 @@
+#ifndef PREGELIX_DATAFLOW_JOB_H_
+#define PREGELIX_DATAFLOW_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "dataflow/operator.h"
+
+namespace pregelix {
+
+/// Inter-operator data exchange pattern (paper Section 4 "Connectors").
+enum class ConnectorKind {
+  kOneToOne,            ///< partition i feeds partition i (sticky/local)
+  kMToNPartition,       ///< repartition by key hash, unordered arrival
+  kMToNPartitionMerge,  ///< repartition; receiver merges sorted sender runs
+  kMToOne,              ///< all partitions feed partition 0 (aggregator)
+};
+
+/// Edge of the job DAG.
+struct ConnectorSpec {
+  int src_op = -1;
+  int src_output = 0;
+  int dst_op = -1;
+  int dst_input = 0;
+  ConnectorKind kind = ConnectorKind::kMToNPartition;
+  /// Field used for hash routing and for the merge order.
+  int key_field = 0;
+  /// Tuple width on this edge (needed by the merging receiver).
+  int field_count = 2;
+  /// Overrides the default policy (pipelined for everything except the
+  /// merging connector, which defaults to sender-side materializing; a
+  /// pipelined merging connector can deadlock under backpressure, which is
+  /// precisely why the paper pairs it with materialization).
+  enum class Policy { kDefault, kPipelined, kSenderMaterialize };
+  Policy policy = Policy::kDefault;
+  /// Custom route function `(key bytes, n) -> partition`; default hash.
+  std::function<uint32_t(const Slice&, uint32_t)> partitioner;
+
+  uint32_t Route(const Slice& key, uint32_t n) const {
+    if (partitioner) return partitioner(key, n);
+    return static_cast<uint32_t>(Hash64(key) % n);
+  }
+};
+
+/// A dataflow job: operators plus connectors, submitted to the executor.
+/// The per-operator partition count plays the role of Hyracks' location
+/// constraints: the Pregelix plan generator pins join/group-by clones to the
+/// Vertex partitions by simply using the same partition count and relying on
+/// the executor's fixed partition->worker map (sticky scheduling, paper
+/// Section 5.3.4).
+class JobSpec {
+ public:
+  struct OpEntry {
+    std::shared_ptr<OperatorDescriptor> descriptor;
+    int num_partitions;
+  };
+
+  /// Returns the operator id used in ConnectorSpec.
+  int AddOperator(std::shared_ptr<OperatorDescriptor> op, int num_partitions) {
+    ops_.push_back(OpEntry{std::move(op), num_partitions});
+    return static_cast<int>(ops_.size()) - 1;
+  }
+
+  void Connect(ConnectorSpec spec) {
+    PREGELIX_CHECK(spec.src_op >= 0 &&
+                   spec.src_op < static_cast<int>(ops_.size()));
+    PREGELIX_CHECK(spec.dst_op >= 0 &&
+                   spec.dst_op < static_cast<int>(ops_.size()));
+    connectors_.push_back(std::move(spec));
+  }
+
+  const std::vector<OpEntry>& ops() const { return ops_; }
+  const std::vector<ConnectorSpec>& connectors() const { return connectors_; }
+
+  /// Descriptive name for logs.
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_ = "job";
+  std::vector<OpEntry> ops_;
+  std::vector<ConnectorSpec> connectors_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_DATAFLOW_JOB_H_

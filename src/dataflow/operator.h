@@ -1,0 +1,120 @@
+#ifndef PREGELIX_DATAFLOW_OPERATOR_H_
+#define PREGELIX_DATAFLOW_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_cache.h"
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace pregelix {
+
+/// Pull interface for an operator input: a stream of frames fed by a
+/// connector (plain queue or merging receiver).
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  /// Fills *frame with the next frame; false at end-of-stream.
+  virtual bool Next(std::string* frame) = 0;
+};
+
+/// Push interface for an operator output: tuples flow into the connector's
+/// sender side, which partitions them into per-destination frames.
+class TupleSink {
+ public:
+  virtual ~TupleSink() = default;
+  /// Appends a tuple given as field slices.
+  virtual Status Append(std::span<const Slice> fields) = 0;
+  /// Flushes buffered frames and signals end-of-stream downstream. The
+  /// executor calls this after Operator::Run returns; operators may call it
+  /// earlier.
+  virtual Status Close() = 0;
+};
+
+/// Everything one operator clone sees at runtime (the analog of Hyracks'
+/// IHyracksTaskContext). The `runtime_context` is the per-job hook the
+/// Pregelix layer uses to reach partition-local state (vertex indexes, Msg
+/// run files, the cached GS tuple) — paper Section 5.7 "Runtime Context".
+struct TaskContext {
+  int partition = 0;
+  int worker = 0;
+  int num_partitions = 1;
+  size_t frame_size = 32 * 1024;
+  WorkerMetrics* metrics = nullptr;
+  BufferCache* cache = nullptr;
+  std::string scratch_dir;          ///< partition-local scratch directory
+  const ClusterConfig* config = nullptr;
+  void* runtime_context = nullptr;  ///< job-defined per-cluster state
+
+  std::vector<std::unique_ptr<FrameSource>> inputs;
+  std::vector<std::unique_ptr<TupleSink>> outputs;
+
+  FrameSource& input(int i) { return *inputs[i]; }
+  TupleSink& output(int i) { return *outputs[i]; }
+};
+
+/// One operator clone, executing on one partition.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Run(TaskContext& ctx) = 0;
+};
+
+/// Factory for operator clones; one descriptor per logical operator in a
+/// job specification.
+class OperatorDescriptor {
+ public:
+  virtual ~OperatorDescriptor() = default;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<Operator> Create(int partition) = 0;
+};
+
+/// Descriptor wrapping a plain function; the workhorse for plan generation.
+class LambdaOperatorDescriptor : public OperatorDescriptor {
+ public:
+  using Fn = std::function<Status(TaskContext&)>;
+
+  LambdaOperatorDescriptor(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+
+  std::unique_ptr<Operator> Create(int partition) override {
+    class FnOperator : public Operator {
+     public:
+      explicit FnOperator(Fn* fn) : fn_(fn) {}
+      Status Run(TaskContext& ctx) override { return (*fn_)(ctx); }
+
+     private:
+      Fn* fn_;
+    };
+    return std::make_unique<FnOperator>(&fn_);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// Reads field `f` out of pre-encoded tuple bytes (the raw format described
+/// in frame.h) without a frame.
+inline Slice TupleFieldFromRaw(const Slice& tuple, int field_count, int f) {
+  const char* base = tuple.data();
+  auto end_of = [&](int i) {
+    uint32_t v;
+    memcpy(&v, base + 4 * i, 4);
+    return v;
+  };
+  const uint32_t start = f == 0 ? 0 : end_of(f - 1);
+  return Slice(base + 4u * field_count + start, end_of(f) - start);
+}
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_DATAFLOW_OPERATOR_H_

@@ -1,0 +1,471 @@
+#include "dataflow/ops/sort.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/serde.h"
+#include "dataflow/operator.h"
+#include "io/file.h"
+
+namespace pregelix {
+
+namespace {
+
+/// Encodes fields into the raw tuple format of frame.h.
+void EncodeTuple(std::span<const Slice> fields, std::string* out) {
+  const int n = static_cast<int>(fields.size());
+  size_t data = 0;
+  for (const Slice& f : fields) data += f.size();
+  out->clear();
+  out->reserve(4u * n + data);
+  uint32_t end = 0;
+  char buf[4];
+  for (const Slice& f : fields) {
+    end += static_cast<uint32_t>(f.size());
+    EncodeFixed32(buf, end);
+    out->append(buf, 4);
+  }
+  for (const Slice& f : fields) {
+    out->append(f.data(), f.size());
+  }
+}
+
+/// Sequential cursor over one run file.
+class RunCursor {
+ public:
+  RunCursor(std::string path, int field_count, WorkerMetrics* metrics)
+      : path_(std::move(path)), accessor_(field_count), metrics_(metrics) {}
+
+  Status Init() {
+    PREGELIX_RETURN_NOT_OK(RunFileReader::Open(path_, metrics_, &reader_));
+    return Advance();
+  }
+
+  bool Valid() const { return valid_; }
+
+  Status Next() {
+    ++index_;
+    if (index_ >= accessor_.tuple_count()) {
+      return Advance();
+    }
+    return Status::OK();
+  }
+
+  Slice field(int f) const { return accessor_.field(index_, f); }
+  int field_count() const { return accessor_.field_count(); }
+
+  /// Removes the backing file (runs are single-use).
+  void Discard() {
+    reader_.reset();
+    DeleteFileIfExists(path_);
+  }
+
+ private:
+  Status Advance() {
+    for (;;) {
+      Status s = reader_->NextBlock(&frame_);
+      if (s.IsNotFound()) {
+        valid_ = false;
+        return Status::OK();
+      }
+      PREGELIX_RETURN_NOT_OK(s);
+      accessor_.Reset(Slice(frame_));
+      if (accessor_.tuple_count() > 0) {
+        index_ = 0;
+        valid_ = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  std::string path_;
+  std::unique_ptr<RunFileReader> reader_;
+  std::string frame_;
+  FrameTupleAccessor accessor_;
+  int index_ = 0;
+  bool valid_ = false;
+  WorkerMetrics* metrics_;
+};
+
+/// Merges the given cursors in key order, optionally combining equal keys,
+/// and feeds `emit`. `apply_finish` controls whether the combiner's final
+/// transform runs (only on the last pass).
+Status MergeCursors(std::vector<std::unique_ptr<RunCursor>>& cursors,
+                    int key_field, const GroupCombiner& combiner,
+                    bool apply_finish, WorkerMetrics* metrics,
+                    const TupleEmitFn& emit) {
+  uint64_t tuples = 0;
+  std::vector<Slice> fields;
+  for (;;) {
+    int best = -1;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (!cursors[i]->Valid()) continue;
+      if (best < 0 || cursors[i]->field(key_field).compare(
+                          cursors[best]->field(key_field)) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+
+    if (combiner.valid()) {
+      const std::string key = cursors[best]->field(0).ToString();
+      std::string acc;
+      combiner.init(cursors[best]->field(1), &acc);
+      PREGELIX_RETURN_NOT_OK(cursors[best]->Next());
+      ++tuples;
+      // Fold in every other tuple with the same key, from any cursor.
+      for (auto& cursor : cursors) {
+        while (cursor->Valid() && cursor->field(0) == Slice(key)) {
+          combiner.step(cursor->field(1), &acc);
+          PREGELIX_RETURN_NOT_OK(cursor->Next());
+          ++tuples;
+        }
+      }
+      if (apply_finish && combiner.finish) combiner.finish(&acc);
+      const Slice out[2] = {Slice(key), Slice(acc)};
+      PREGELIX_RETURN_NOT_OK(emit(out));
+    } else {
+      RunCursor& c = *cursors[best];
+      fields.clear();
+      for (int f = 0; f < c.field_count(); ++f) {
+        fields.push_back(c.field(f));
+      }
+      PREGELIX_RETURN_NOT_OK(emit(fields));
+      PREGELIX_RETURN_NOT_OK(c.Next());
+      ++tuples;
+    }
+  }
+  if (metrics != nullptr) metrics->AddCpuOps(tuples);
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal_sort {
+
+// ---------------------------------------------------------------------------
+// RunWriter
+
+RunWriter::RunWriter(const SortConfig& config, const std::string& path)
+    : appender_(config.frame_size, config.field_count),
+      path_(path),
+      config_(&config) {
+  open_status_ = RunFileWriter::Open(path, config.metrics, &file_);
+}
+
+Status RunWriter::Append(std::span<const Slice> fields) {
+  PREGELIX_RETURN_NOT_OK(open_status_);
+  if (!appender_.Append(fields)) {
+    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.Take()));
+    PREGELIX_CHECK(appender_.Append(fields));
+  }
+  return Status::OK();
+}
+
+Status RunWriter::Finish() {
+  PREGELIX_RETURN_NOT_OK(open_status_);
+  if (!appender_.empty()) {
+    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.Take()));
+  }
+  return file_->Finish();
+}
+
+// ---------------------------------------------------------------------------
+// MergeRuns
+
+Status MergeRuns(const SortConfig& config, const GroupCombiner& combiner,
+                 std::vector<std::string> run_paths, const TupleEmitFn& emit) {
+  uint64_t pass_id = 0;
+  // Intermediate passes until the fan-in fits.
+  while (static_cast<int>(run_paths.size()) > config.merge_fanin) {
+    std::vector<std::string> next_paths;
+    for (size_t start = 0; start < run_paths.size();
+         start += config.merge_fanin) {
+      const size_t end =
+          std::min(run_paths.size(), start + config.merge_fanin);
+      std::vector<std::unique_ptr<RunCursor>> cursors;
+      for (size_t i = start; i < end; ++i) {
+        cursors.push_back(std::make_unique<RunCursor>(
+            run_paths[i], config.field_count, config.metrics));
+        PREGELIX_RETURN_NOT_OK(cursors.back()->Init());
+      }
+      const std::string out_path = config.scratch_prefix + "-merge-" +
+                                   std::to_string(pass_id++) ;
+      RunWriter writer(config, out_path);
+      PREGELIX_RETURN_NOT_OK(MergeCursors(
+          cursors, config.key_field, combiner, /*apply_finish=*/false,
+          config.metrics,
+          [&](std::span<const Slice> fields) { return writer.Append(fields); }));
+      PREGELIX_RETURN_NOT_OK(writer.Finish());
+      for (auto& cursor : cursors) cursor->Discard();
+      next_paths.push_back(out_path);
+    }
+    run_paths = std::move(next_paths);
+  }
+  // Final pass.
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  for (const std::string& path : run_paths) {
+    cursors.push_back(std::make_unique<RunCursor>(path, config.field_count,
+                                                  config.metrics));
+    PREGELIX_RETURN_NOT_OK(cursors.back()->Init());
+  }
+  PREGELIX_RETURN_NOT_OK(MergeCursors(cursors, config.key_field, combiner,
+                                      /*apply_finish=*/true, config.metrics,
+                                      emit));
+  for (auto& cursor : cursors) cursor->Discard();
+  return Status::OK();
+}
+
+}  // namespace internal_sort
+
+// ---------------------------------------------------------------------------
+// ExternalSortGrouper
+
+ExternalSortGrouper::ExternalSortGrouper(const SortConfig& config,
+                                         GroupCombiner combiner)
+    : config_(config), combiner_(std::move(combiner)) {
+  if (combiner_.valid()) {
+    PREGELIX_CHECK(config_.field_count == 2 && config_.key_field == 0)
+        << "combining group-by operates on (key, payload) tuples";
+  }
+  pool_.reserve(std::min<size_t>(config_.memory_budget_bytes, 1u << 20));
+}
+
+ExternalSortGrouper::~ExternalSortGrouper() {
+  // Drop any unconsumed runs.
+  for (const std::string& path : run_paths_) {
+    DeleteFileIfExists(path);
+  }
+}
+
+Status ExternalSortGrouper::Add(std::span<const Slice> fields) {
+  PREGELIX_CHECK(!finished_);
+  std::string tuple;
+  EncodeTuple(fields, &tuple);
+  if (pool_.size() + tuple.size() > config_.memory_budget_bytes &&
+      !entries_.empty()) {
+    PREGELIX_RETURN_NOT_OK(SpillBatch());
+  }
+  entries_.push_back(Entry{static_cast<uint32_t>(pool_.size()),
+                           static_cast<uint32_t>(tuple.size())});
+  pool_.append(tuple);
+  if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
+  return Status::OK();
+}
+
+Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
+  const int key_field = config_.key_field;
+  const int field_count = config_.field_count;
+  auto key_of = [&](const Entry& e) {
+    return TupleFieldFromRaw(Slice(pool_.data() + e.offset, e.size),
+                             field_count, key_field);
+  };
+  std::sort(entries_.begin(), entries_.end(),
+            [&](const Entry& a, const Entry& b) {
+              return key_of(a).compare(key_of(b)) < 0;
+            });
+  if (config_.metrics != nullptr) {
+    config_.metrics->AddCpuOps(entries_.size());
+  }
+  std::vector<Slice> fields;
+  if (combiner_.valid()) {
+    size_t i = 0;
+    while (i < entries_.size()) {
+      const Slice key = key_of(entries_[i]);
+      Slice payload = TupleFieldFromRaw(
+          Slice(pool_.data() + entries_[i].offset, entries_[i].size), 2, 1);
+      std::string acc;
+      combiner_.init(payload, &acc);
+      size_t j = i + 1;
+      while (j < entries_.size() && key_of(entries_[j]) == key) {
+        combiner_.step(
+            TupleFieldFromRaw(
+                Slice(pool_.data() + entries_[j].offset, entries_[j].size), 2,
+                1),
+            &acc);
+        ++j;
+      }
+      const Slice out[2] = {key, Slice(acc)};
+      PREGELIX_RETURN_NOT_OK(fn(out));
+      i = j;
+    }
+  } else {
+    for (const Entry& e : entries_) {
+      const Slice tuple(pool_.data() + e.offset, e.size);
+      fields.clear();
+      for (int f = 0; f < field_count; ++f) {
+        fields.push_back(TupleFieldFromRaw(tuple, field_count, f));
+      }
+      PREGELIX_RETURN_NOT_OK(fn(fields));
+    }
+  }
+  entries_.clear();
+  pool_.clear();
+  return Status::OK();
+}
+
+Status ExternalSortGrouper::SpillBatch() {
+  const std::string path =
+      config_.scratch_prefix + "-run-" + std::to_string(next_run_id_++);
+  internal_sort::RunWriter writer(config_, path);
+  PREGELIX_RETURN_NOT_OK(DrainBatchSorted(
+      [&](std::span<const Slice> fields) { return writer.Append(fields); }));
+  PREGELIX_RETURN_NOT_OK(writer.Finish());
+  run_paths_.push_back(path);
+  return Status::OK();
+}
+
+Status ExternalSortGrouper::Finish(const TupleEmitFn& emit) {
+  PREGELIX_CHECK(!finished_);
+  finished_ = true;
+  if (run_paths_.empty()) {
+    // Fully in-memory: a single sorted drain, applying the final transform.
+    if (combiner_.valid() && combiner_.finish) {
+      return DrainBatchSorted([&](std::span<const Slice> fields) {
+        std::string acc = fields[1].ToString();
+        combiner_.finish(&acc);
+        const Slice out[2] = {fields[0], Slice(acc)};
+        return emit(out);
+      });
+    }
+    return DrainBatchSorted(emit);
+  }
+  if (!entries_.empty()) {
+    PREGELIX_RETURN_NOT_OK(SpillBatch());
+  }
+  std::vector<std::string> runs = std::move(run_paths_);
+  run_paths_.clear();
+  return internal_sort::MergeRuns(config_, combiner_, std::move(runs), emit);
+}
+
+// ---------------------------------------------------------------------------
+// HashSortGrouper
+
+HashSortGrouper::HashSortGrouper(const SortConfig& config,
+                                 GroupCombiner combiner)
+    : config_(config), combiner_(std::move(combiner)) {
+  PREGELIX_CHECK(combiner_.valid())
+      << "HashSort group-by requires combine hooks";
+  PREGELIX_CHECK(config_.field_count == 2 && config_.key_field == 0);
+}
+
+HashSortGrouper::~HashSortGrouper() {
+  for (const std::string& path : run_paths_) {
+    DeleteFileIfExists(path);
+  }
+}
+
+Status HashSortGrouper::Add(std::span<const Slice> fields) {
+  PREGELIX_CHECK(!finished_);
+  const Slice key = fields[0];
+  const Slice payload = fields[1];
+  auto it = table_.find(key.ToString());
+  if (it == table_.end()) {
+    std::string acc;
+    combiner_.init(payload, &acc);
+    table_bytes_ += key.size() + acc.size() + 64;  // table overhead estimate
+    table_.emplace(key.ToString(), std::move(acc));
+  } else {
+    const size_t before = it->second.size();
+    combiner_.step(payload, &it->second);
+    table_bytes_ += it->second.size() - before;
+  }
+  if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
+  if (table_bytes_ > config_.memory_budget_bytes) {
+    PREGELIX_RETURN_NOT_OK(SpillTable());
+  }
+  return Status::OK();
+}
+
+Status HashSortGrouper::SpillTable() {
+  if (table_.empty()) return Status::OK();
+  std::vector<const std::pair<const std::string, std::string>*> sorted;
+  sorted.reserve(table_.size());
+  for (const auto& kv : table_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return Slice(a->first).compare(Slice(b->first)) < 0;
+  });
+  if (config_.metrics != nullptr) {
+    config_.metrics->AddCpuOps(sorted.size());
+  }
+  const std::string path =
+      config_.scratch_prefix + "-hrun-" + std::to_string(next_run_id_++);
+  internal_sort::RunWriter writer(config_, path);
+  for (const auto* kv : sorted) {
+    const Slice out[2] = {Slice(kv->first), Slice(kv->second)};
+    PREGELIX_RETURN_NOT_OK(writer.Append(out));
+  }
+  PREGELIX_RETURN_NOT_OK(writer.Finish());
+  run_paths_.push_back(path);
+  table_.clear();
+  table_bytes_ = 0;
+  return Status::OK();
+}
+
+Status HashSortGrouper::Finish(const TupleEmitFn& emit) {
+  PREGELIX_CHECK(!finished_);
+  finished_ = true;
+  if (run_paths_.empty()) {
+    std::vector<const std::pair<const std::string, std::string>*> sorted;
+    sorted.reserve(table_.size());
+    for (const auto& kv : table_) sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+      return Slice(a->first).compare(Slice(b->first)) < 0;
+    });
+    for (const auto* kv : sorted) {
+      std::string acc = kv->second;
+      if (combiner_.finish) combiner_.finish(&acc);
+      const Slice out[2] = {Slice(kv->first), Slice(acc)};
+      PREGELIX_RETURN_NOT_OK(emit(out));
+    }
+    table_.clear();
+    table_bytes_ = 0;
+    return Status::OK();
+  }
+  PREGELIX_RETURN_NOT_OK(SpillTable());
+  std::vector<std::string> runs = std::move(run_paths_);
+  run_paths_.clear();
+  return internal_sort::MergeRuns(config_, combiner_, std::move(runs), emit);
+}
+
+// ---------------------------------------------------------------------------
+// PreclusteredGrouper
+
+PreclusteredGrouper::PreclusteredGrouper(GroupCombiner combiner,
+                                         WorkerMetrics* metrics)
+    : combiner_(std::move(combiner)), metrics_(metrics) {
+  PREGELIX_CHECK(combiner_.valid());
+}
+
+Status PreclusteredGrouper::Add(const Slice& key, const Slice& payload,
+                                const TupleEmitFn& emit) {
+  if (metrics_ != nullptr) metrics_->AddCpuOps(1);
+  if (has_group_ && key == Slice(current_key_)) {
+    combiner_.step(payload, &acc_);
+    return Status::OK();
+  }
+  PREGELIX_CHECK(!has_group_ || Slice(current_key_).compare(key) < 0)
+      << "preclustered group-by received unsorted input";
+  PREGELIX_RETURN_NOT_OK(EmitCurrent(emit));
+  current_key_ = key.ToString();
+  acc_.clear();
+  combiner_.init(payload, &acc_);
+  has_group_ = true;
+  return Status::OK();
+}
+
+Status PreclusteredGrouper::EmitCurrent(const TupleEmitFn& emit) {
+  if (!has_group_) return Status::OK();
+  if (combiner_.finish) combiner_.finish(&acc_);
+  const Slice out[2] = {Slice(current_key_), Slice(acc_)};
+  return emit(out);
+}
+
+Status PreclusteredGrouper::Finish(const TupleEmitFn& emit) {
+  Status s = EmitCurrent(emit);
+  has_group_ = false;
+  return s;
+}
+
+}  // namespace pregelix

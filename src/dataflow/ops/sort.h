@@ -1,0 +1,168 @@
+#ifndef PREGELIX_DATAFLOW_OPS_SORT_H_
+#define PREGELIX_DATAFLOW_OPS_SORT_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "dataflow/frame.h"
+#include "io/run_file.h"
+
+namespace pregelix {
+
+/// Streaming consumer of sorted output: called once per tuple, in key order.
+using TupleEmitFn = std::function<Status(std::span<const Slice> fields)>;
+
+/// Aggregation hooks for message combination (the user's `combine` UDF
+/// packaged for the group-by operators). Operates on the payload field of
+/// (key, payload) tuples; must be associative and commutative, as required
+/// of Pregel combiners. The default combiner (gather into a list) is built
+/// by the Pregelix layer on top of these hooks.
+struct GroupCombiner {
+  /// Starts an accumulator from the first payload of a group.
+  std::function<void(const Slice& payload, std::string* acc)> init;
+  /// Folds another payload into the accumulator.
+  std::function<void(const Slice& payload, std::string* acc)> step;
+  /// Optional final transform of the accumulator before emission.
+  std::function<void(std::string* acc)> finish;
+
+  bool valid() const { return static_cast<bool>(init) && static_cast<bool>(step); }
+};
+
+/// Shared configuration for the sort/group-by family.
+struct SortConfig {
+  int field_count = 2;
+  int key_field = 0;
+  size_t memory_budget_bytes = 1 << 20;  ///< in-memory batch / table budget
+  size_t frame_size = 32 * 1024;
+  std::string scratch_prefix;  ///< run files: <prefix>-run-<i>
+  WorkerMetrics* metrics = nullptr;
+  int merge_fanin = 16;
+};
+
+/// External sort with optional early aggregation (paper Section 4
+/// "sort-based group-by": the combine function is pushed into both the
+/// in-memory sort phase and the merge phase).
+///
+/// Without a combiner this is the plain external sort operator (used by the
+/// data-loading and recovery plans to prepare bulk-load input). With a
+/// combiner (field_count must be 2, key_field 0) it is the sort-based
+/// group-by: runs are written pre-combined and merging combines across runs,
+/// so spill volume shrinks with the combining factor.
+class ExternalSortGrouper {
+ public:
+  ExternalSortGrouper(const SortConfig& config, GroupCombiner combiner = {});
+  ~ExternalSortGrouper();
+
+  Status Add(std::span<const Slice> fields);
+
+  /// Sorts/merges everything added and streams it to `emit` in key order.
+  /// The instance is exhausted afterwards.
+  Status Finish(const TupleEmitFn& emit);
+
+  int runs_spilled() const { return static_cast<int>(run_paths_.size()); }
+
+ private:
+  Status SpillBatch();
+  /// Sorts the in-memory batch and feeds it (combined if configured) to fn.
+  Status DrainBatchSorted(const TupleEmitFn& fn);
+
+  SortConfig config_;
+  GroupCombiner combiner_;
+
+  // In-memory batch: raw tuple bytes in a pool, one (offset, size) entry per
+  // tuple. Sorting permutes the entry array only.
+  std::string pool_;
+  struct Entry {
+    uint32_t offset;
+    uint32_t size;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> run_paths_;
+  uint64_t next_run_id_ = 0;
+  bool finished_ = false;
+};
+
+/// Hash-based pre-aggregation with sorted spill runs (paper Section 4
+/// "HashSort group-by"): groups are absorbed into an in-memory hash table;
+/// when the table exceeds its budget it is emptied as one sorted, combined
+/// run; the merge phase is shared with the sort-based group-by. Faster than
+/// sort-based when the number of distinct keys is small.
+class HashSortGrouper {
+ public:
+  HashSortGrouper(const SortConfig& config, GroupCombiner combiner);
+  ~HashSortGrouper();
+
+  Status Add(std::span<const Slice> fields);
+  Status Finish(const TupleEmitFn& emit);
+
+  int runs_spilled() const { return static_cast<int>(run_paths_.size()); }
+
+ private:
+  Status SpillTable();
+
+  SortConfig config_;
+  GroupCombiner combiner_;
+  std::unordered_map<std::string, std::string> table_;
+  size_t table_bytes_ = 0;
+  std::vector<std::string> run_paths_;
+  uint64_t next_run_id_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming group-by over already-clustered input (paper Section 4
+/// "preclustered group-by"); pairs with the m-to-n partitioning merging
+/// connector whose receiver delivers key-sorted tuples.
+class PreclusteredGrouper {
+ public:
+  PreclusteredGrouper(GroupCombiner combiner, WorkerMetrics* metrics);
+
+  /// Input must arrive in non-decreasing key order.
+  Status Add(const Slice& key, const Slice& payload, const TupleEmitFn& emit);
+  /// Flushes the last group.
+  Status Finish(const TupleEmitFn& emit);
+
+ private:
+  Status EmitCurrent(const TupleEmitFn& emit);
+
+  GroupCombiner combiner_;
+  WorkerMetrics* metrics_;
+  std::string current_key_;
+  std::string acc_;
+  bool has_group_ = false;
+};
+
+namespace internal_sort {
+
+/// K-way merge (with optional combining) over run files written by the
+/// groupers; shared by both spilling implementations. Multi-pass when the
+/// number of runs exceeds the fan-in.
+Status MergeRuns(const SortConfig& config, const GroupCombiner& combiner,
+                 std::vector<std::string> run_paths, const TupleEmitFn& emit);
+
+/// Writes tuples to a run file as frames. Helper for the groupers.
+class RunWriter {
+ public:
+  RunWriter(const SortConfig& config, const std::string& path);
+  Status Append(std::span<const Slice> fields);
+  Status Finish();
+
+ private:
+  FrameTupleAppender appender_;
+  std::unique_ptr<RunFileWriter> file_;
+  std::string path_;
+  const SortConfig* config_;
+  Status open_status_;
+};
+
+}  // namespace internal_sort
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_DATAFLOW_OPS_SORT_H_

@@ -1,0 +1,57 @@
+#ifndef PREGELIX_GRAPH_GENERATOR_H_
+#define PREGELIX_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "dfs/dfs.h"
+
+namespace pregelix {
+
+/// Summary statistics of a generated dataset, in the shape of the paper's
+/// Tables 3 and 4 rows.
+struct GraphStats {
+  std::string name;
+  int64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t size_bytes = 0;
+  double avg_degree() const {
+    return num_vertices == 0
+               ? 0.0
+               : static_cast<double>(num_edges) /
+                     static_cast<double>(num_vertices);
+  }
+};
+
+/// Synthetic stand-in for the Yahoo! Webmap crawl (Table 3): a directed
+/// graph with a power-law-ish out-degree distribution (mean `avg_degree`,
+/// heavy-tailed hubs) and skewed destination popularity, generated
+/// deterministically from `seed` and streamed straight to `num_parts` part
+/// files under `dir`. See DESIGN.md substitutions.
+Status GenerateWebmapLike(DistributedFileSystem& dfs, const std::string& dir,
+                          int num_parts, int64_t num_vertices,
+                          double avg_degree, uint64_t seed, GraphStats* stats);
+
+/// Synthetic stand-in for the Billion Triple Challenge graph (Table 4): an
+/// undirected graph (symmetric adjacency) with near-constant degree, built
+/// from a ring lattice plus skewed long-range links. Materialized in memory
+/// (laptop-scale sizes) before writing.
+Status GenerateBtcLike(DistributedFileSystem& dfs, const std::string& dir,
+                       int num_parts, int64_t num_vertices, double avg_degree,
+                       uint64_t seed, GraphStats* stats);
+
+/// Scale-up by deep copy + renumbering the duplicate vertices with a new set
+/// of identifiers, exactly as the paper built the larger BTC variants: the
+/// output has `factor` disjoint copies of the input graph.
+Status ScaleUpGraph(DistributedFileSystem& dfs, const std::string& src_dir,
+                    const std::string& dst_dir, int num_parts, int factor,
+                    GraphStats* stats);
+
+/// Computes stats of an existing graph directory.
+Status MeasureGraph(const DistributedFileSystem& dfs, const std::string& dir,
+                    GraphStats* stats);
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_GRAPH_GENERATOR_H_

@@ -1,0 +1,185 @@
+#include "graph/ref_algos.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+
+namespace pregelix {
+
+std::vector<double> PageRankRef(const InMemoryGraph& graph, int iterations,
+                                double damping) {
+  const int64_t n = graph.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      if (graph.adj[v].empty()) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(graph.adj[v].size());
+      for (int64_t d : graph.adj[v]) next[d] += share;
+    }
+    const double teleport =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    for (int64_t v = 0; v < n; ++v) {
+      next[v] = teleport + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> SsspRef(const InMemoryGraph& graph, int64_t source) {
+  const int64_t n = graph.num_vertices();
+  std::vector<double> dist(n, -1.0);
+  if (source < 0 || source >= n) return dist;
+  std::deque<int64_t> queue;
+  dist[source] = 0.0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int64_t v = queue.front();
+    queue.pop_front();
+    for (int64_t d : graph.adj[v]) {
+      if (dist[d] < 0) {
+        dist[d] = dist[v] + 1.0;
+        queue.push_back(d);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+int64_t Find(std::vector<int64_t>& parent, int64_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+}  // namespace
+
+std::vector<int64_t> CcRef(const InMemoryGraph& graph) {
+  const int64_t n = graph.num_vertices();
+  std::vector<int64_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t d : graph.adj[v]) {
+      const int64_t a = Find(parent, v);
+      const int64_t b = Find(parent, d);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<int64_t> label(n);
+  for (int64_t v = 0; v < n; ++v) label[v] = Find(parent, v);
+  return label;
+}
+
+std::vector<bool> ReachabilityRef(const InMemoryGraph& graph, int64_t source) {
+  const int64_t n = graph.num_vertices();
+  std::vector<bool> reach(n, false);
+  if (source < 0 || source >= n) return reach;
+  std::deque<int64_t> queue;
+  reach[source] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int64_t v = queue.front();
+    queue.pop_front();
+    for (int64_t d : graph.adj[v]) {
+      if (!reach[d]) {
+        reach[d] = true;
+        queue.push_back(d);
+      }
+    }
+  }
+  return reach;
+}
+
+std::vector<int64_t> SccRef(const InMemoryGraph& graph) {
+  const int64_t n = graph.num_vertices();
+  std::vector<int64_t> index(n, -1), low(n, 0), scc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int64_t> stack;
+  int64_t next_index = 0;
+
+  // Iterative Tarjan: frame = (vertex, next edge position).
+  struct Frame {
+    int64_t v;
+    size_t edge;
+  };
+  for (int64_t start = 0; start < n; ++start) {
+    if (index[start] >= 0) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const int64_t v = frame.v;
+      if (frame.edge < graph.adj[v].size()) {
+        const int64_t w = graph.adj[v][frame.edge++];
+        if (w < 0 || w >= n) continue;
+        if (index[w] < 0) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          // Pop one SCC; label with its minimum vertex id.
+          std::vector<int64_t> members;
+          for (;;) {
+            const int64_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            members.push_back(w);
+            if (w == v) break;
+          }
+          const int64_t label =
+              *std::min_element(members.begin(), members.end());
+          for (int64_t w : members) scc[w] = label;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return scc;
+}
+
+uint64_t TriangleCountRef(const InMemoryGraph& graph) {
+  const int64_t n = graph.num_vertices();
+  // Undirected neighbor sets, deduplicated, self-loops dropped.
+  std::vector<std::set<int64_t>> nbr(n);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t d : graph.adj[v]) {
+      if (d == v || d < 0 || d >= n) continue;
+      nbr[v].insert(d);
+      nbr[d].insert(v);
+    }
+  }
+  uint64_t triangles = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t u : nbr[v]) {
+      if (u <= v) continue;
+      for (int64_t w : nbr[u]) {
+        if (w <= u) continue;
+        if (nbr[v].count(w) > 0) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace pregelix

@@ -1,0 +1,41 @@
+#ifndef PREGELIX_GRAPH_REF_ALGOS_H_
+#define PREGELIX_GRAPH_REF_ALGOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/text_io.h"
+
+namespace pregelix {
+
+/// Single-threaded reference implementations used to validate the Pregel
+/// programs and the baseline engines (property tests compare outputs).
+
+/// Standard PageRank with uniform teleport; dangling mass is redistributed
+/// uniformly. Returns one rank per vertex, summing to ~1.
+std::vector<double> PageRankRef(const InMemoryGraph& graph, int iterations,
+                                double damping = 0.85);
+
+/// Shortest path distances from `source` with unit edge weights
+/// (infinity -> -1).
+std::vector<double> SsspRef(const InMemoryGraph& graph, int64_t source);
+
+/// Connected components on the undirected interpretation of the graph;
+/// returns the minimum vertex id of each vertex's component (the same label
+/// Pregel CC converges to on symmetric graphs).
+std::vector<int64_t> CcRef(const InMemoryGraph& graph);
+
+/// Vertices reachable from `source` following out-edges.
+std::vector<bool> ReachabilityRef(const InMemoryGraph& graph, int64_t source);
+
+/// Global triangle count (each triangle counted once) on the undirected
+/// interpretation.
+uint64_t TriangleCountRef(const InMemoryGraph& graph);
+
+/// Strongly connected components (Tarjan, iterative); returns the minimum
+/// vertex id of each vertex's SCC.
+std::vector<int64_t> SccRef(const InMemoryGraph& graph);
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_GRAPH_REF_ALGOS_H_

@@ -1,0 +1,74 @@
+#include "graph/sampler.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pregelix {
+
+Status RandomWalkSample(const InMemoryGraph& input, int64_t target_vertices,
+                        uint64_t seed, double restart_probability,
+                        InMemoryGraph* output) {
+  const int64_t n = input.num_vertices();
+  PREGELIX_CHECK(n > 0);
+  if (target_vertices >= n) {
+    *output = input;
+    return Status::OK();
+  }
+  Random rnd(seed);
+  std::unordered_map<int64_t, int64_t> renumber;
+  renumber.reserve(target_vertices * 2);
+  std::vector<int64_t> visited_order;
+
+  auto visit = [&](int64_t v) {
+    auto [it, inserted] =
+        renumber.emplace(v, static_cast<int64_t>(renumber.size()));
+    if (inserted) visited_order.push_back(v);
+    return it->second;
+  };
+
+  int64_t current = static_cast<int64_t>(rnd.Uniform(n));
+  visit(current);
+  uint64_t steps = 0;
+  const uint64_t max_steps = static_cast<uint64_t>(target_vertices) * 1000;
+  while (static_cast<int64_t>(renumber.size()) < target_vertices &&
+         steps < max_steps) {
+    ++steps;
+    const auto& nbrs = input.adj[current];
+    if (nbrs.empty() || rnd.Bernoulli(restart_probability)) {
+      current = static_cast<int64_t>(rnd.Uniform(n));
+    } else {
+      current = nbrs[rnd.Uniform(nbrs.size())];
+    }
+    visit(current);
+  }
+
+  // Induced subgraph, renumbered densely in visit order.
+  output->adj.assign(renumber.size(), {});
+  for (int64_t old_vid : visited_order) {
+    const int64_t new_vid = renumber[old_vid];
+    for (int64_t d : input.adj[old_vid]) {
+      auto it = renumber.find(d);
+      if (it != renumber.end()) {
+        output->adj[new_vid].push_back(it->second);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SampleGraphDir(DistributedFileSystem& dfs, const std::string& src_dir,
+                      const std::string& dst_dir, int num_parts,
+                      int64_t target_vertices, uint64_t seed) {
+  InMemoryGraph input;
+  PREGELIX_RETURN_NOT_OK(LoadGraph(dfs, src_dir, &input));
+  InMemoryGraph sample;
+  PREGELIX_RETURN_NOT_OK(RandomWalkSample(input, target_vertices, seed,
+                                          /*restart_probability=*/0.15,
+                                          &sample));
+  return WriteGraph(dfs, dst_dir, sample, num_parts);
+}
+
+}  // namespace pregelix

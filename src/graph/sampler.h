@@ -1,0 +1,30 @@
+#ifndef PREGELIX_GRAPH_SAMPLER_H_
+#define PREGELIX_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dfs/dfs.h"
+#include "graph/text_io.h"
+
+namespace pregelix {
+
+/// Random-walk graph sampler (paper Section 7.1, footnote 7: "We used a
+/// random walk graph sampler built on top of Pregelix to create scaled-down
+/// Webmap sample graphs of different sizes").
+///
+/// Walks with restart from random seeds until `target_vertices` distinct
+/// vertices are visited, then keeps the induced subgraph on the visited set
+/// and renumbers it densely.
+Status RandomWalkSample(const InMemoryGraph& input, int64_t target_vertices,
+                        uint64_t seed, double restart_probability,
+                        InMemoryGraph* output);
+
+/// Convenience: load, sample, and write the sample as a graph dir.
+Status SampleGraphDir(DistributedFileSystem& dfs, const std::string& src_dir,
+                      const std::string& dst_dir, int num_parts,
+                      int64_t target_vertices, uint64_t seed);
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_GRAPH_SAMPLER_H_

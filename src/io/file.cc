@@ -1,0 +1,202 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pregelix {
+
+namespace {
+constexpr size_t kWriteBufferSize = 64 * 1024;
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WritableFile
+
+WritableFile::WritableFile(int fd, std::string path, WorkerMetrics* metrics)
+    : fd_(fd), path_(std::move(path)), metrics_(metrics) {
+  buffer_.reserve(kWriteBufferSize);
+}
+
+Status WritableFile::Open(const std::string& path, WorkerMetrics* metrics,
+                          std::unique_ptr<WritableFile>* out) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open " + path));
+  }
+  out->reset(new WritableFile(fd, path, metrics));
+  return Status::OK();
+}
+
+WritableFile::~WritableFile() {
+  if (!closed_) {
+    Close();  // best effort
+  }
+}
+
+Status WritableFile::Append(const Slice& data) {
+  size_ += data.size();
+  if (buffer_.size() + data.size() < kWriteBufferSize) {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+  PREGELIX_RETURN_NOT_OK(FlushBuffer());
+  if (data.size() >= kWriteBufferSize) {
+    // Large write: go straight to the kernel.
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("write " + path_));
+      }
+      done += static_cast<size_t>(n);
+    }
+    if (metrics_ != nullptr) metrics_->AddDiskWrite(data.size());
+    return Status::OK();
+  }
+  buffer_.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status WritableFile::FlushBuffer() {
+  size_t done = 0;
+  while (done < buffer_.size()) {
+    ssize_t n = ::write(fd_, buffer_.data() + done, buffer_.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write " + path_));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (metrics_ != nullptr) metrics_->AddDiskWrite(buffer_.size());
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WritableFile::Flush() { return FlushBuffer(); }
+
+Status WritableFile::Close() {
+  if (closed_) return Status::OK();
+  Status s = FlushBuffer();
+  if (::close(fd_) != 0 && s.ok()) {
+    s = Status::IoError(ErrnoMessage("close " + path_));
+  }
+  closed_ = true;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// RandomAccessFile
+
+RandomAccessFile::RandomAccessFile(int fd, std::string path, uint64_t size,
+                                   WorkerMetrics* metrics)
+    : fd_(fd), path_(std::move(path)), size_(size), metrics_(metrics) {}
+
+Status RandomAccessFile::Open(const std::string& path, WorkerMetrics* metrics,
+                              std::unique_ptr<RandomAccessFile>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open " + path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("fstat " + path));
+  }
+  out->reset(new RandomAccessFile(fd, path, static_cast<uint64_t>(st.st_size),
+                                  metrics));
+  return Status::OK();
+}
+
+RandomAccessFile::~RandomAccessFile() { ::close(fd_); }
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, scratch + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("pread " + path_));
+    }
+    if (r == 0) {
+      return Status::IoError("short read at " + std::to_string(offset) +
+                             " in " + path_);
+    }
+    done += static_cast<size_t>(r);
+  }
+  if (metrics_ != nullptr) metrics_->AddDiskRead(n);
+  return Status::OK();
+}
+
+Status RandomAccessFile::Write(uint64_t offset, const Slice& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t r = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("pwrite " + path_));
+    }
+    done += static_cast<size_t>(r);
+  }
+  if (offset + data.size() > size_) size_ = offset + data.size();
+  if (metrics_ != nullptr) metrics_->AddDiskWrite(data.size());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+Status GetFileSize(const std::string& path, uint64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("stat " + path);
+  }
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+void DeleteFileIfExists(const std::string& path) { ::unlink(path.c_str()); }
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  uint64_t size = 0;
+  PREGELIX_RETURN_NOT_OK(GetFileSize(path, &size));
+  std::unique_ptr<RandomAccessFile> file;
+  PREGELIX_RETURN_NOT_OK(RandomAccessFile::Open(path, nullptr, &file));
+  out->resize(size);
+  if (size == 0) return Status::OK();
+  return file->Read(0, size, out->data());
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               const Slice& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<WritableFile> file;
+    PREGELIX_RETURN_NOT_OK(WritableFile::Open(tmp, nullptr, &file));
+    PREGELIX_RETURN_NOT_OK(file->Append(contents));
+    PREGELIX_RETURN_NOT_OK(file->Close());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename " + tmp));
+  }
+  return Status::OK();
+}
+
+}  // namespace pregelix

@@ -1,0 +1,48 @@
+#include "io/run_file.h"
+
+#include "common/serde.h"
+
+namespace pregelix {
+
+Status RunFileWriter::Open(const std::string& path, WorkerMetrics* metrics,
+                           std::unique_ptr<RunFileWriter>* out) {
+  std::unique_ptr<WritableFile> file;
+  PREGELIX_RETURN_NOT_OK(WritableFile::Open(path, metrics, &file));
+  out->reset(new RunFileWriter(std::move(file)));
+  return Status::OK();
+}
+
+Status RunFileWriter::AppendBlock(const Slice& block) {
+  char header[4];
+  EncodeFixed32(header, static_cast<uint32_t>(block.size()));
+  PREGELIX_RETURN_NOT_OK(file_->Append(Slice(header, 4)));
+  PREGELIX_RETURN_NOT_OK(file_->Append(block));
+  ++num_blocks_;
+  return Status::OK();
+}
+
+Status RunFileWriter::Finish() { return file_->Close(); }
+
+Status RunFileReader::Open(const std::string& path, WorkerMetrics* metrics,
+                           std::unique_ptr<RunFileReader>* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  PREGELIX_RETURN_NOT_OK(RandomAccessFile::Open(path, metrics, &file));
+  out->reset(new RunFileReader(std::move(file)));
+  return Status::OK();
+}
+
+Status RunFileReader::NextBlock(std::string* out) {
+  if (AtEnd()) return Status::NotFound("eof");
+  char header[4];
+  PREGELIX_RETURN_NOT_OK(file_->Read(offset_, 4, header));
+  const uint32_t len = DecodeFixed32(header);
+  offset_ += 4;
+  out->resize(len);
+  if (len > 0) {
+    PREGELIX_RETURN_NOT_OK(file_->Read(offset_, len, out->data()));
+  }
+  offset_ += len;
+  return Status::OK();
+}
+
+}  // namespace pregelix

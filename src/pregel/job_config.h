@@ -1,0 +1,69 @@
+#ifndef PREGELIX_PREGEL_JOB_CONFIG_H_
+#define PREGELIX_PREGEL_JOB_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pregelix {
+
+/// Physical plan hints (paper Section 5.3; Figure 9 shows them set on a
+/// job). Together with vertex storage they span the sixteen tailored
+/// executions of Section 5.8.
+enum class JoinStrategy {
+  /// Index full outer join: scan the whole Vertex index and merge with the
+  /// sorted Msg stream. Best when most vertices are live (PageRank).
+  kFullOuter,
+  /// Index left outer join: merge Msg with the Vid (live vertex) index via
+  /// choose(), probe Vertex per key. Best for sparse-message algorithms
+  /// (single source shortest paths).
+  kLeftOuter,
+  /// EXTENSION (the paper's future work asks for a cost-based optimizer,
+  /// Section 9): the plan generator re-chooses the join per superstep from
+  /// the statistics collector — full outer while most vertices participate,
+  /// left outer once the frontier (live vertices + messages) drops below
+  /// 1/5 of the graph. Algorithms like CC, which are dense early and sparse
+  /// late (Figure 14c), get both plans' best halves.
+  kAdaptive,
+};
+
+enum class GroupByStrategy {
+  kSort,      ///< sort-based group-by at sender and receiver
+  kHashSort,  ///< hash pre-aggregation with sorted runs
+};
+
+enum class GroupByConnector {
+  /// m-to-n partitioning connector (fully pipelined); the receiver re-groups.
+  kUnmerged,
+  /// m-to-n partitioning merging connector (sender-side materializing); the
+  /// receiver applies a one-pass preclustered group-by.
+  kMerged,
+};
+
+enum class VertexStorage {
+  kBTree,     ///< in-place updates; best for stable-size vertex data
+  kLsmBTree,  ///< out-of-place; best under heavy mutation / size churn
+};
+
+/// One Pregelix job: a vertex program applied to a graph until it halts.
+struct PregelixJobConfig {
+  std::string name = "pregelix-job";
+
+  /// DFS directory with `part-*` adjacency input.
+  std::string input_dir;
+  /// DFS directory for the result dump; empty = skip the dump phase.
+  std::string output_dir;
+
+  JoinStrategy join = JoinStrategy::kFullOuter;
+  GroupByStrategy groupby = GroupByStrategy::kSort;
+  GroupByConnector groupby_connector = GroupByConnector::kUnmerged;
+  VertexStorage storage = VertexStorage::kBTree;
+
+  /// Checkpoint every k supersteps (0 = no checkpoints). Paper Section 5.5.
+  int checkpoint_interval = 0;
+  /// Safety valve; 0 = run until the global halt condition.
+  int max_supersteps = 200;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_PREGEL_JOB_CONFIG_H_

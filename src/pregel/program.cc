@@ -1,0 +1,37 @@
+#include "pregel/program.h"
+
+namespace pregelix {
+
+GroupCombiner ListMsgCombiner() {
+  GroupCombiner c;
+  c.init = [](const Slice& payload, std::string* acc) {
+    acc->assign(payload.data(), payload.size());
+  };
+  c.step = [](const Slice& payload, std::string* acc) {
+    acc->append(payload.data(), payload.size());
+  };
+  return c;
+}
+
+PregelProgram::ResolveAction PregelProgram::Resolve(
+    int64_t vid, const std::vector<MutationRecord>& mutations,
+    std::string* vertex_bytes) const {
+  // Default partial order: deletions first, then insertions; the last
+  // insertion wins.
+  bool deleted = false;
+  bool inserted = false;
+  for (const MutationRecord& m : mutations) {
+    if (m.op == MutationRecord::Op::kRemoveVertex) deleted = true;
+  }
+  for (const MutationRecord& m : mutations) {
+    if (m.op == MutationRecord::Op::kAddVertex) {
+      inserted = true;
+      *vertex_bytes = m.vertex_bytes;
+    }
+  }
+  if (inserted) return ResolveAction::kUpsert;
+  if (deleted) return ResolveAction::kDelete;
+  return ResolveAction::kNone;
+}
+
+}  // namespace pregelix

@@ -1,0 +1,394 @@
+#include "pregel/runtime.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/temp_dir.h"
+#include "dataflow/executor.h"
+#include "io/file.h"
+#include "pregel/plans.h"
+#include "pregel/vertex_format.h"
+#include "storage/btree.h"
+#include "storage/lsm_btree.h"
+
+namespace pregelix {
+
+namespace {
+
+std::atomic<uint64_t> g_job_counter{0};
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<MetricsSnapshot> Delta(const std::vector<MetricsSnapshot>& before,
+                                   const std::vector<MetricsSnapshot>& after) {
+  std::vector<MetricsSnapshot> out(before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    out[i] = after[i] - before[i];
+  }
+  return out;
+}
+
+MetricsSnapshot Sum(const std::vector<MetricsSnapshot>& deltas) {
+  MetricsSnapshot total;
+  for (const MetricsSnapshot& d : deltas) total += d;
+  return total;
+}
+
+std::string GsPath(const JobRuntimeContext& ctx) {
+  return "jobs/" + ctx.job_id + "/gs";
+}
+
+}  // namespace
+
+PregelixRuntime::PregelixRuntime(SimulatedCluster* cluster,
+                                 DistributedFileSystem* dfs,
+                                 CostModelParams cost_params)
+    : cluster_(cluster), dfs_(dfs), cost_params_(cost_params) {}
+
+Status PregelixRuntime::Run(PregelProgram* program,
+                            const PregelixJobConfig& config,
+                            JobResult* result) {
+  JobRuntimeContext ctx;
+  ctx.program = program;
+  ctx.job_config = &config;
+  ctx.cluster = cluster_;
+  ctx.dfs = dfs_;
+  ctx.job_id =
+      config.name + "-" + std::to_string(g_job_counter.fetch_add(1));
+  ctx.partitions.resize(cluster_->num_partitions());
+  Status s = RunInternal(program, config, &ctx, /*do_load=*/true,
+                         /*do_dump=*/!config.output_dir.empty(), result);
+  Cleanup(&ctx);
+  return s;
+}
+
+Status PregelixRuntime::RunInternal(PregelProgram* program,
+                                    const PregelixJobConfig& config,
+                                    JobRuntimeContext* ctx, bool do_load,
+                                    bool do_dump, JobResult* result) {
+  const double wall_start = WallSeconds();
+  result->superstep_stats.clear();
+  result->recoveries = 0;
+
+  auto init_gs_after_load = [&]() -> Status {
+    GlobalState gs;
+    gs.superstep = 0;
+    gs.halt = false;
+    gs.aggregate = program->GlobalAggregator().initial;
+    for (const PartitionState& p : ctx->partitions) {
+      gs.num_vertices += p.vertices;
+      gs.num_edges += p.edges;
+    }
+    gs.live_vertices = gs.num_vertices;
+    ctx->gs = gs;
+    return dfs_->Write(GsPath(*ctx), gs.Encode());
+  };
+
+  if (do_load) {
+    const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
+    JobSpec load = BuildLoadJob(ctx);
+    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, load, ctx));
+    result->load_sim_seconds = SimulatedStepSeconds(
+        Delta(before, cluster_->SnapshotAll()), cost_params_);
+    PREGELIX_RETURN_NOT_OK(init_gs_after_load());
+  }
+
+  int64_t last_checkpoint = -1;
+  for (;;) {
+    const int64_t superstep = ctx->gs.superstep + 1;
+    if (config.max_supersteps > 0 && superstep > config.max_supersteps) {
+      break;
+    }
+
+    // --- Failure injection + failure manager (paper Section 5.5) ---------
+    if (fail_at_superstep_ == superstep && fail_worker_ >= 0) {
+      PLOG(Info) << "injecting failure of worker " << fail_worker_
+                 << " before superstep " << superstep;
+      fail_at_superstep_ = -1;
+      // Machine state is gone: close every partition's storage handles
+      // before wiping (handles of healthy partitions are rebuilt too — the
+      // paper reloads the full state onto a fresh worker set).
+      for (PartitionState& p : ctx->partitions) {
+        p.vertex_index.reset();
+        p.vid_index.reset();
+        p.next_vid_index.reset();
+      }
+      PREGELIX_RETURN_NOT_OK(cluster_->FailWorker(fail_worker_));
+      ++result->recoveries;
+      int64_t resume = 0;
+      bool restart = false;
+      PREGELIX_RETURN_NOT_OK(Recover(ctx, &resume, &restart));
+      if (restart) {
+        const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
+        JobSpec load = BuildLoadJob(ctx);
+        PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, load, ctx));
+        result->load_sim_seconds += SimulatedStepSeconds(
+            Delta(before, cluster_->SnapshotAll()), cost_params_);
+        PREGELIX_RETURN_NOT_OK(init_gs_after_load());
+      }
+      continue;  // re-evaluate the loop with the recovered GS
+    }
+
+    // --- One superstep ----------------------------------------------------
+    ctx->current_superstep = superstep;
+    ctx->pending_gs = GlobalState{};
+    ctx->vertices_added = 0;
+    ctx->vertices_removed = 0;
+    ctx->edges_delta = 0;
+
+    const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
+    const double step_wall = WallSeconds();
+    JobSpec spec = BuildSuperstepJob(ctx);
+    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, spec, ctx));
+    const std::vector<MetricsSnapshot> deltas =
+        Delta(before, cluster_->SnapshotAll());
+
+    PREGELIX_RETURN_NOT_OK(AdvanceGlobalState(ctx));
+
+    SuperstepStats stats;
+    stats.superstep = superstep;
+    stats.sim_seconds = SimulatedStepSeconds(deltas, cost_params_);
+    stats.wall_seconds = WallSeconds() - step_wall;
+    stats.live_vertices = ctx->gs.live_vertices;
+    stats.messages = ctx->gs.messages;
+    stats.used_left_outer_join =
+        ctx->current_join == JoinStrategy::kLeftOuter;
+    stats.cluster_delta = Sum(deltas);
+    result->superstep_stats.push_back(stats);
+    result->supersteps_sim_seconds += stats.sim_seconds;
+
+    // --- Checkpoint at user-selected boundaries ---------------------------
+    if (config.checkpoint_interval > 0 &&
+        superstep % config.checkpoint_interval == 0 && !ctx->gs.halt) {
+      JobSpec ckpt = BuildCheckpointJob(ctx, superstep);
+      PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, ckpt, ctx));
+      PREGELIX_RETURN_NOT_OK(dfs_->Write(
+          CheckpointDir(*ctx, superstep) + "/gs", ctx->gs.Encode()));
+      last_checkpoint = superstep;
+    }
+    (void)last_checkpoint;
+
+    if (ctx->gs.halt) break;
+  }
+
+  if (do_dump) {
+    const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
+    JobSpec dump = BuildDumpJob(ctx);
+    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, dump, ctx));
+    result->dump_sim_seconds = SimulatedStepSeconds(
+        Delta(before, cluster_->SnapshotAll()), cost_params_);
+  }
+
+  result->supersteps = ctx->gs.superstep;
+  result->final_gs = ctx->gs;
+  result->total_sim_seconds = result->load_sim_seconds +
+                              result->supersteps_sim_seconds +
+                              result->dump_sim_seconds;
+  result->avg_iteration_sim_seconds =
+      result->supersteps == 0
+          ? 0
+          : result->supersteps_sim_seconds /
+                static_cast<double>(result->supersteps);
+  result->wall_seconds = WallSeconds() - wall_start;
+  return Status::OK();
+}
+
+Status PregelixRuntime::AdvanceGlobalState(JobRuntimeContext* ctx) {
+  GlobalState gs = ctx->pending_gs;
+  gs.num_vertices = ctx->gs.num_vertices + ctx->vertices_added.load() -
+                    ctx->vertices_removed.load();
+  gs.num_edges = ctx->gs.num_edges + ctx->edges_delta.load();
+  gs.messages = 0;
+  for (PartitionState& p : ctx->partitions) {
+    gs.messages += static_cast<int64_t>(p.next_msg_count);
+  }
+  // Vertices added by resolve start life active; messages keep the job
+  // alive via the halt contributions of their senders.
+  if (ctx->vertices_added.load() > 0 || gs.messages > 0) {
+    gs.halt = false;
+  }
+
+  // Install the superstep outputs: Msg_{i+1} replaces Msg_i, Vid_{i+1}
+  // replaces Vid_i (sticky, partition-local swaps; no data moves).
+  for (PartitionState& p : ctx->partitions) {
+    if (!p.msg_path.empty()) DeleteFileIfExists(p.msg_path);
+    p.msg_path = p.next_msg_path;
+    p.next_msg_path.clear();
+    p.next_msg_count = 0;
+    if (ctx->job_config->join != JoinStrategy::kFullOuter) {
+      if (p.vid_index != nullptr) {
+        Status s = p.vid_index->Destroy();
+        if (!s.ok()) PLOG(Warn) << "vid destroy: " << s.ToString();
+      }
+      p.vid_index = std::move(p.next_vid_index);
+      if (!p.vid_extra_path.empty()) DeleteFileIfExists(p.vid_extra_path);
+      p.vid_extra_path = p.next_vid_extra_path;
+      p.next_vid_extra_path.clear();
+    }
+  }
+  ctx->gs = gs;
+  return dfs_->Write(GsPath(*ctx), gs.Encode());
+}
+
+Status PregelixRuntime::Recover(JobRuntimeContext* ctx,
+                                int64_t* resume_superstep,
+                                bool* restart_from_load) {
+  // Find the newest checkpoint at or below the last completed superstep.
+  for (int64_t s = ctx->gs.superstep; s >= 1; --s) {
+    const std::string gs_file = CheckpointDir(*ctx, s) + "/gs";
+    if (!dfs_->Exists(gs_file)) continue;
+    PLOG(Info) << "recovering from checkpoint at superstep " << s;
+    JobSpec recovery = BuildRecoveryJob(ctx, s);
+    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, recovery, ctx));
+    std::string encoded;
+    PREGELIX_RETURN_NOT_OK(dfs_->Read(gs_file, &encoded));
+    GlobalState gs;
+    PREGELIX_RETURN_NOT_OK(gs.Decode(encoded));
+    ctx->gs = gs;
+    *resume_superstep = s + 1;
+    *restart_from_load = false;
+    return Status::OK();
+  }
+  PLOG(Info) << "no checkpoint found; restarting from load";
+  *restart_from_load = true;
+  *resume_superstep = 1;
+  return Status::OK();
+}
+
+void PregelixRuntime::Cleanup(JobRuntimeContext* ctx) {
+  for (int p = 0; p < static_cast<int>(ctx->partitions.size()); ++p) {
+    PartitionState& state = ctx->partitions[p];
+    state.vertex_index.reset();
+    state.vid_index.reset();
+    state.next_vid_index.reset();
+    RemoveAll(ctx->PartitionDir(p));
+  }
+  Status s = dfs_->DeleteRecursive("jobs/" + ctx->job_id);
+  if (!s.ok()) {
+    PLOG(Warn) << "job dir cleanup failed: " << s.ToString();
+  }
+}
+
+Status PregelixRuntime::RunPipeline(
+    const std::vector<std::pair<PregelProgram*, PregelixJobConfig>>& jobs,
+    std::vector<JobResult>* results) {
+  PREGELIX_CHECK(!jobs.empty());
+  results->clear();
+  results->resize(jobs.size());
+
+  JobRuntimeContext ctx;
+  ctx.cluster = cluster_;
+  ctx.dfs = dfs_;
+  ctx.job_id = jobs[0].second.name + "-pipeline-" +
+               std::to_string(g_job_counter.fetch_add(1));
+  ctx.partitions.resize(cluster_->num_partitions());
+
+  Status status;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    PregelProgram* program = jobs[j].first;
+    const PregelixJobConfig& config = jobs[j].second;
+    ctx.program = program;
+    ctx.job_config = &config;
+
+    if (j > 0) {
+      // Compatible-job handoff: reactivate all vertices, clear Msg, rebuild
+      // Vid for the next job (no DFS round trip, no re-load).
+      status = PrepareNextPipelinedJob(&ctx);
+      if (!status.ok()) break;
+    }
+    const bool last = j + 1 == jobs.size();
+    status = RunInternal(program, config, &ctx, /*do_load=*/j == 0,
+                         /*do_dump=*/last && !config.output_dir.empty(),
+                         &(*results)[j]);
+    if (!status.ok()) break;
+  }
+  Cleanup(&ctx);
+  return status;
+}
+
+Status PregelixRuntime::PrepareNextPipelinedJob(JobRuntimeContext* ctx) {
+  const bool loj = ctx->job_config->join != JoinStrategy::kFullOuter;
+  for (int p = 0; p < static_cast<int>(ctx->partitions.size()); ++p) {
+    PartitionState& state = ctx->partitions[p];
+    if (!state.msg_path.empty()) {
+      DeleteFileIfExists(state.msg_path);
+      state.msg_path.clear();
+    }
+    if (!state.vid_extra_path.empty()) {
+      DeleteFileIfExists(state.vid_extra_path);
+      state.vid_extra_path.clear();
+    }
+    if (state.vid_index != nullptr) {
+      Status s = state.vid_index->Destroy();
+      if (!s.ok()) PLOG(Warn) << "vid destroy: " << s.ToString();
+      state.vid_index.reset();
+    }
+
+    // Reactivate every vertex (all vertices start a Pregel job active) and
+    // rebuild the live-vertex index if the next job uses the left-outer
+    // plan. Updates are buffered so the scan never races its own writes.
+    std::vector<std::pair<std::string, std::string>> reactivations;
+    std::unique_ptr<IndexBulkLoader> vid_loader;
+    if (loj) {
+      PREGELIX_RETURN_NOT_OK(MakePipelineVidIndex(ctx, p, &state.vid_index));
+      vid_loader = state.vid_index->NewBulkLoader();
+    }
+    std::unique_ptr<IndexIterator> it = state.vertex_index->NewIterator();
+    PREGELIX_RETURN_NOT_OK(it->SeekToFirst());
+    int64_t vertices = 0, edges = 0;
+    while (it->Valid()) {
+      if (VertexHalt(it->value())) {
+        std::string record = it->value().ToString();
+        SetVertexHalt(&record, false);
+        reactivations.emplace_back(it->key().ToString(), std::move(record));
+      }
+      if (vid_loader != nullptr) {
+        PREGELIX_RETURN_NOT_OK(vid_loader->Add(it->key(), Slice()));
+      }
+      ++vertices;
+      edges += VertexEdgeCount(it->value());
+      PREGELIX_RETURN_NOT_OK(it->Next());
+    }
+    it.reset();
+    if (vid_loader != nullptr) {
+      PREGELIX_RETURN_NOT_OK(vid_loader->Finish());
+    }
+    for (const auto& [key, record] : reactivations) {
+      PREGELIX_RETURN_NOT_OK(
+          state.vertex_index->Upsert(Slice(key), Slice(record)));
+    }
+    state.vertices = vertices;
+    state.edges = edges;
+  }
+
+  GlobalState gs;
+  gs.superstep = 0;
+  gs.halt = false;
+  gs.aggregate = ctx->program->GlobalAggregator().initial;
+  for (const PartitionState& p : ctx->partitions) {
+    gs.num_vertices += p.vertices;
+    gs.num_edges += p.edges;
+  }
+  gs.live_vertices = gs.num_vertices;
+  ctx->gs = gs;
+  return dfs_->Write(GsPath(*ctx), gs.Encode());
+}
+
+Status PregelixRuntime::MakePipelineVidIndex(JobRuntimeContext* ctx, int p,
+                                             std::unique_ptr<BTree>* out) {
+  const std::string dir = ctx->PartitionDir(p);
+  PREGELIX_CHECK(EnsureDir(dir));
+  const int worker = ctx->cluster->worker_of_partition(p);
+  const std::string path =
+      dir + "/vid-pipe-" + std::to_string(g_job_counter.fetch_add(1)) +
+      ".btree";
+  DeleteFileIfExists(path);
+  return BTree::Open(&ctx->cluster->cache(worker), path, out);
+}
+
+}  // namespace pregelix

@@ -1,0 +1,107 @@
+#ifndef PREGELIX_PREGEL_RUNTIME_H_
+#define PREGELIX_PREGEL_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "pregel/job_config.h"
+#include "pregel/program.h"
+#include "pregel/state.h"
+
+namespace pregelix {
+
+/// Per-superstep statistics (the statistics collector of paper Section 5.7
+/// plus the cost-model reading used by the experiment harness).
+struct SuperstepStats {
+  int64_t superstep = 0;
+  double sim_seconds = 0;   ///< cost-model time (max worker + barrier)
+  double wall_seconds = 0;  ///< actual wall clock, sanity column
+  int64_t live_vertices = 0;
+  int64_t messages = 0;  ///< combined messages produced for the next step
+  /// Join plan executed (interesting under JoinStrategy::kAdaptive).
+  bool used_left_outer_join = false;
+  MetricsSnapshot cluster_delta;  ///< summed counters across workers
+};
+
+struct JobResult {
+  int64_t supersteps = 0;
+  double load_sim_seconds = 0;
+  double dump_sim_seconds = 0;
+  double supersteps_sim_seconds = 0;  ///< sum over supersteps
+  double total_sim_seconds = 0;       ///< load + supersteps + dump
+  double avg_iteration_sim_seconds = 0;
+  double wall_seconds = 0;
+  int recoveries = 0;
+  GlobalState final_gs;
+  std::vector<SuperstepStats> superstep_stats;
+};
+
+/// The Pregelix client-side driver: plan generator, superstep loop,
+/// statistics collector, and failure manager (paper Section 5.7). One
+/// runtime can execute many jobs against a shared SimulatedCluster; Run is
+/// thread-safe across instances (used for the multi-tenant throughput
+/// experiment) because each job keeps its own partition-scoped state.
+class PregelixRuntime {
+ public:
+  PregelixRuntime(SimulatedCluster* cluster, DistributedFileSystem* dfs,
+                  CostModelParams cost_params = {});
+
+  /// Runs one job: load -> supersteps until global halt -> dump.
+  Status Run(PregelProgram* program, const PregelixJobConfig& config,
+             JobResult* result);
+
+  /// Runs a chain of compatible jobs with job pipelining (paper
+  /// Section 5.6): the vertex state of job k feeds job k+1 directly —
+  /// no HDFS write/read, no re-load, no index rebuild; all vertices are
+  /// reactivated between jobs. Only the last job dumps output.
+  Status RunPipeline(
+      const std::vector<std::pair<PregelProgram*, PregelixJobConfig>>& jobs,
+      std::vector<JobResult>* results);
+
+  /// Failure injection (tests & experiments): before executing superstep
+  /// `superstep` of the next Run, worker `worker` loses its local state; the
+  /// failure manager then recovers from the latest checkpoint (or re-loads
+  /// from the input when none exists).
+  void InjectFailure(int64_t superstep, int worker) {
+    fail_at_superstep_ = superstep;
+    fail_worker_ = worker;
+  }
+
+ private:
+  Status RunInternal(PregelProgram* program, const PregelixJobConfig& config,
+                     JobRuntimeContext* ctx, bool do_load, bool do_dump,
+                     JobResult* result);
+
+  /// Installs the superstep outputs (Msg/Vid swap), folds mutation counters
+  /// into GS, writes GS to the DFS.
+  Status AdvanceGlobalState(JobRuntimeContext* ctx);
+
+  /// The failure manager: recover from the newest checkpoint <= the current
+  /// superstep, or signal that a restart-from-load is needed.
+  Status Recover(JobRuntimeContext* ctx, int64_t* resume_superstep,
+                 bool* restart_from_load);
+
+  /// Releases all per-partition storage of a finished job.
+  void Cleanup(JobRuntimeContext* ctx);
+
+  /// Between pipelined jobs: reactivate vertices, clear Msg, rebuild Vid.
+  Status PrepareNextPipelinedJob(JobRuntimeContext* ctx);
+  Status MakePipelineVidIndex(JobRuntimeContext* ctx, int p,
+                              std::unique_ptr<BTree>* out);
+
+  SimulatedCluster* cluster_;
+  DistributedFileSystem* dfs_;
+  CostModelParams cost_params_;
+
+  int64_t fail_at_superstep_ = -1;
+  int fail_worker_ = -1;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_PREGEL_RUNTIME_H_

@@ -1,0 +1,39 @@
+#include "pregel/state.h"
+
+#include "common/serde.h"
+
+namespace pregelix {
+
+std::string GlobalState::Encode() const {
+  std::string out;
+  PutFixed64(&out, static_cast<uint64_t>(superstep));
+  out.push_back(halt ? 1 : 0);
+  PutLengthPrefixed(&out, Slice(aggregate));
+  PutFixed64(&out, static_cast<uint64_t>(num_vertices));
+  PutFixed64(&out, static_cast<uint64_t>(num_edges));
+  PutFixed64(&out, static_cast<uint64_t>(live_vertices));
+  PutFixed64(&out, static_cast<uint64_t>(messages));
+  return out;
+}
+
+Status GlobalState::Decode(const Slice& bytes) {
+  Slice in = bytes;
+  if (in.size() < 9) return Status::Corruption("GS too short");
+  superstep = static_cast<int64_t>(DecodeFixed64(in.data()));
+  in.remove_prefix(8);
+  halt = in[0] != 0;
+  in.remove_prefix(1);
+  Slice agg;
+  if (!GetLengthPrefixed(&in, &agg)) {
+    return Status::Corruption("GS aggregate truncated");
+  }
+  aggregate = agg.ToString();
+  if (in.size() < 32) return Status::Corruption("GS stats truncated");
+  num_vertices = static_cast<int64_t>(DecodeFixed64(in.data()));
+  num_edges = static_cast<int64_t>(DecodeFixed64(in.data() + 8));
+  live_vertices = static_cast<int64_t>(DecodeFixed64(in.data() + 16));
+  messages = static_cast<int64_t>(DecodeFixed64(in.data() + 24));
+  return Status::OK();
+}
+
+}  // namespace pregelix

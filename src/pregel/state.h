@@ -1,0 +1,104 @@
+#ifndef PREGELIX_PREGEL_STATE_H_
+#define PREGELIX_PREGEL_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "pregel/job_config.h"
+#include "pregel/program.h"
+#include "storage/index.h"
+#include "storage/btree.h"
+
+namespace pregelix {
+
+/// The GS relation of Table 1 — GS(halt, aggregate, superstep) — extended
+/// with the Pregel-specific statistics the statistics collector tracks
+/// (paper Section 5.7). Primary copy lives on the DFS.
+struct GlobalState {
+  int64_t superstep = 0;  ///< last completed superstep
+  bool halt = false;
+  std::string aggregate;  ///< user aggregator value after `superstep`
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  int64_t live_vertices = 0;
+  int64_t messages = 0;  ///< combined messages produced by `superstep`
+
+  std::string Encode() const;
+  Status Decode(const Slice& bytes);
+};
+
+/// Per-partition runtime state that survives across superstep jobs (the
+/// stored relations: Vertex, Msg, and Vid for the left-outer plan).
+struct PartitionState {
+  /// Vertex relation partition (B-tree or LSM B-tree).
+  std::unique_ptr<OrderedIndex> vertex_index;
+  /// Live-vertex index for superstep i (left outer join plan only).
+  std::unique_ptr<BTree> vid_index;
+  /// Run of vids added by resolve in the previous superstep (sorted); they
+  /// participate in the merge alongside Vid (left outer join plan only).
+  std::string vid_extra_path;
+  /// Sorted (vid, payload) run holding Msg_i for the upcoming superstep.
+  std::string msg_path;
+
+  // Outputs of the superstep in flight, installed by the runtime at the
+  // barrier:
+  std::string next_msg_path;
+  uint64_t next_msg_count = 0;
+  std::unique_ptr<BTree> next_vid_index;
+  std::string next_vid_extra_path;
+
+  // Exact vertex/edge bookkeeping (set by load, adjusted by resolve).
+  int64_t vertices = 0;
+  int64_t edges = 0;
+};
+
+/// Shared context handed to every operator clone of a Pregelix job through
+/// TaskContext::runtime_context (the paper's per-worker "runtime context",
+/// Section 5.7: cached GS tuple + hooks into storage).
+struct JobRuntimeContext {
+  PregelProgram* program = nullptr;
+  const PregelixJobConfig* job_config = nullptr;
+  SimulatedCluster* cluster = nullptr;
+  DistributedFileSystem* dfs = nullptr;
+  std::string job_id;
+
+  /// Cached GS of the previous superstep (read-only during a superstep job).
+  GlobalState gs;
+  /// Superstep currently executing (gs.superstep + 1).
+  int64_t current_superstep = 1;
+  /// Join strategy in effect for the current superstep. Equals the job hint
+  /// except under JoinStrategy::kAdaptive, where the plan generator resolves
+  /// it per superstep from the statistics collector.
+  JoinStrategy current_join = JoinStrategy::kFullOuter;
+
+  /// True when the Vid live-vertex index must be maintained (any job that
+  /// may run a left outer join superstep).
+  bool MaintainsVid() const {
+    return job_config->join != JoinStrategy::kFullOuter;
+  }
+
+  std::vector<PartitionState> partitions;
+
+  // Written by the single global-aggregation clone.
+  GlobalState pending_gs;
+
+  // Mutation counters (resolve side), folded into GS at the barrier.
+  std::atomic<int64_t> vertices_added{0};
+  std::atomic<int64_t> vertices_removed{0};
+  std::atomic<int64_t> edges_delta{0};
+
+  /// Scratch directory of one partition for this job.
+  std::string PartitionDir(int p) const {
+    return cluster->partition_dir(p) + "/" + job_id;
+  }
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_PREGEL_STATE_H_

@@ -1,0 +1,60 @@
+#ifndef PREGELIX_PREGEL_VERTEX_FORMAT_H_
+#define PREGELIX_PREGEL_VERTEX_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace pregelix {
+
+/// Binary layout of one row of the Vertex relation (Table 1 of the paper:
+/// Vertex(vid, halt, value, edges)). The vid is the index key; the stored
+/// value is:
+///
+///   [halt u8][value_len u32][value bytes][edge_count u32]
+///   ([dst i64][edge_len u32][edge bytes])*
+///
+/// The halt flag lives in the first byte so plan-level code (filters, Vid
+/// maintenance, pipelined-job reactivation) can read and write it without
+/// decoding the user-typed value or edges.
+struct VertexEdgeView {
+  int64_t dst;
+  Slice value;
+};
+
+struct VertexRecordView {
+  bool halt = false;
+  Slice value;
+  std::vector<VertexEdgeView> edges;
+
+  /// Parses `bytes` (which must outlive the view). Corruption on malformed.
+  Status Parse(const Slice& bytes);
+
+  /// Serializes to `out`.
+  void Encode(std::string* out) const;
+};
+
+/// Reads just the halt flag.
+inline bool VertexHalt(const Slice& record) {
+  return !record.empty() && record[0] != 0;
+}
+
+/// Flips the halt flag in a serialized record in place.
+inline void SetVertexHalt(std::string* record, bool halt) {
+  if (!record->empty()) (*record)[0] = halt ? 1 : 0;
+}
+
+/// Builds a record from parts without a view.
+void EncodeVertexRecord(bool halt, const Slice& value,
+                        const std::vector<std::pair<int64_t, std::string>>& edges,
+                        std::string* out);
+
+/// Reads the edge count without a full parse (for statistics).
+int64_t VertexEdgeCount(const Slice& record);
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_PREGEL_VERTEX_FORMAT_H_

@@ -1,0 +1,115 @@
+#ifndef PREGELIX_STORAGE_BTREE_H_
+#define PREGELIX_STORAGE_BTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_cache.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/index.h"
+
+namespace pregelix {
+
+/// Disk-resident B+-tree over a BufferCache-managed paged file.
+///
+/// Page layout (see btree.cc): slotted pages with a 16-byte header, slot
+/// array growing up and cell data growing down; leaves are chained through a
+/// right-sibling pointer for range scans; values larger than a quarter page
+/// spill into an overflow page chain (web graphs have high-degree vertices
+/// whose edge lists exceed a page). Page 0 is the meta page (root id, entry
+/// count, first leaf).
+///
+/// Deletion is lazy (no rebalancing): pages may underflow but stay correct.
+/// This is the standard trade-off for write-heavy iterative workloads; jobs
+/// with drastic size changes are steered to the LSM B-tree (paper
+/// Section 5.2).
+///
+/// Not internally synchronized; one partition owns one tree.
+class BTree : public OrderedIndex {
+ public:
+  /// Opens (or creates) a tree stored in `path` through `cache`.
+  static Status Open(BufferCache* cache, const std::string& path,
+                     std::unique_ptr<BTree>* out);
+  ~BTree() override;
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  Status Upsert(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  std::unique_ptr<IndexIterator> NewIterator() override;
+  Status Flush() override;
+  uint64_t num_entries() const override { return num_entries_; }
+
+  /// Creates a bulk loader. The tree must be empty. While a loader is
+  /// outstanding no other operation may run.
+  std::unique_ptr<IndexBulkLoader> NewBulkLoader();
+
+  /// Drops the backing file. The tree must not be used afterwards.
+  Status Destroy();
+
+  uint32_t num_pages() const { return cache_->NumPages(file_id_); }
+  int height() const { return height_; }
+
+  /// Structural invariant check (debug/test aid): separators sorted, child
+  /// subtree key ranges consistent with separators, leaf chain complete and
+  /// ordered. Returns Corruption with a description on violation.
+  Status CheckConsistency() const;
+
+  /// Prints the node structure with int64-decoded keys (debug aid).
+  void DumpStructure() const;
+
+ private:
+  friend class BTreeIterator;
+  friend class BTreeBulkLoader;
+
+  BTree(BufferCache* cache, int file_id);
+
+  Status LoadMeta();
+  Status SaveMeta();
+
+  /// Descends from the root to the leaf that should hold `key`; fills
+  /// `path_pages` with the page ids along the way (root first).
+  ///
+  /// With `lower_fence` set (insert descent), any interior node whose first
+  /// separator exceeds `key` gets that separator lowered to the -infinity
+  /// fence (empty key). This preserves the invariant that every separator is
+  /// a lower bound for its child subtree, which later splits rely on when
+  /// they insert new separators by key order.
+  Status FindLeaf(const Slice& key, std::vector<PageId>* path_pages,
+                  PageId* leaf, bool lower_fence = false);
+
+  Status InsertIntoLeaf(const Slice& key, const std::string& cell,
+                        std::vector<PageId>& path, PageId leaf_id);
+  /// Inserts a separator into the parent chain after a split.
+  Status InsertIntoInterior(std::vector<PageId>& path, size_t level_index,
+                            const std::string& sep_key, PageId child);
+  Status SplitRoot(const std::string& left_key, PageId left,
+                   const std::string& right_key, PageId right, uint8_t level);
+
+  /// Takes a page from the free list or appends one.
+  Status AllocOverflowPage(PageHandle* out, PageId* id);
+  /// Writes a (possibly overflowing) value; produces the encoded leaf cell
+  /// payload (inline bytes or overflow reference).
+  Status EncodeLeafValue(const Slice& value, std::string* cell_payload,
+                         bool* overflow);
+  Status ReadLeafValue(const Slice& cell_payload, bool overflow,
+                       std::string* value) const;
+  Status FreeOverflowChain(const Slice& cell_payload);
+
+  BufferCache* cache_;
+  int file_id_;
+  PageId root_ = 0;
+  PageId first_leaf_ = 0;
+  PageId free_head_ = 0xFFFFFFFFu;  ///< head of the freed-page list
+  uint64_t num_entries_ = 0;
+  int height_ = 1;
+  bool destroyed_ = false;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_STORAGE_BTREE_H_

@@ -1,0 +1,62 @@
+#ifndef PREGELIX_STORAGE_INDEX_H_
+#define PREGELIX_STORAGE_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace pregelix {
+
+/// Forward cursor over an ordered index. Keys are visited in memcmp order.
+class IndexIterator {
+ public:
+  virtual ~IndexIterator() = default;
+
+  virtual Status SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual Status Seek(const Slice& target) = 0;
+  virtual bool Valid() const = 0;
+  virtual Status Next() = 0;
+
+  /// Valid only while Valid(); invalidated by Next().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+};
+
+/// Ordered key-value index interface implemented by BTree and LsmBTree.
+///
+/// The Pregelix Vertex and Vid relations are stored behind this interface
+/// (paper Section 5.2); the physical choice is a job-level hint. External
+/// synchronization: one writer per partition (the dataflow scheduler
+/// guarantees this via sticky location constraints).
+class OrderedIndex {
+ public:
+  virtual ~OrderedIndex() = default;
+
+  /// Inserts or replaces.
+  virtual Status Upsert(const Slice& key, const Slice& value) = 0;
+  /// Removes the key; OK even if absent.
+  virtual Status Delete(const Slice& key) = 0;
+  /// Point lookup. NotFound if absent.
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  virtual std::unique_ptr<IndexIterator> NewIterator() = 0;
+  /// Durably writes buffered state.
+  virtual Status Flush() = 0;
+  /// Live entry count (excluding tombstoned keys).
+  virtual uint64_t num_entries() const = 0;
+};
+
+/// Sorted-input bulk loader; Add must be called in strictly increasing key
+/// order.
+class IndexBulkLoader {
+ public:
+  virtual ~IndexBulkLoader() = default;
+  virtual Status Add(const Slice& key, const Slice& value) = 0;
+  virtual Status Finish() = 0;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_STORAGE_INDEX_H_

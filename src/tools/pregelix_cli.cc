@@ -1,0 +1,315 @@
+// pregelix: command-line driver for the built-in algorithm library.
+//
+// A downstream user's entry point — generate or sample graphs, inspect them,
+// and run any built-in vertex program with the paper's physical plan hints,
+// without writing C++ (the analog of the Pregelix jar's Client.run).
+//
+//   pregelix generate --dfs=/tmp/d --type=webmap --vertices=20000 --out=web
+//   pregelix stats    --dfs=/tmp/d --input=web
+//   pregelix run      --dfs=/tmp/d --algorithm=pagerank --input=web
+//                     --output=ranks --workers=4 --join=fullouter --stats
+//   pregelix sample   --dfs=/tmp/d --input=web --out=web-small --vertices=2000
+//
+// Run with no arguments for full usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "algorithms/algorithms.h"
+#include "common/temp_dir.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "graph/generator.h"
+#include "graph/sampler.h"
+#include "pregel/runtime.h"
+
+namespace pregelix {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::stoll(it->second);
+  }
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+int Usage() {
+  printf(R"(pregelix — Pregel graph analytics on a dataflow engine
+
+usage: pregelix <command> --dfs=<root-dir> [flags]
+
+commands:
+  generate   create a synthetic graph
+      --type=webmap|btc         degree profile (directed power-law / undirected)
+      --vertices=N              vertex count
+      --degree=D                average degree (default 8.0 / 8.94)
+      --out=DIR                 DFS-relative output directory
+      --parts=P                 part files (default 4)
+      --seed=S                  deterministic seed (default 42)
+  scaleup    copy+renumber an existing graph (Table 4 recipe)
+      --input=DIR --out=DIR --factor=K [--parts=P]
+  sample     random-walk down-sample (Table 3 recipe)
+      --input=DIR --out=DIR --vertices=N [--parts=P] [--seed=S]
+  stats      print vertex/edge/size statistics of a graph directory
+      --input=DIR
+  run        execute a built-in algorithm
+      --algorithm=pagerank|sssp|cc|reachability|triangles|cliques|bfs-tree|scc
+      --input=DIR [--output=DIR]
+      --workers=N               simulated worker machines (default 4)
+      --worker-ram-mb=M         simulated RAM per worker (default 16)
+      --join=fullouter|leftouter|adaptive   (default fullouter)
+      --groupby=sort|hashsort               (default sort)
+      --connector=unmerged|merged           (default unmerged)
+      --storage=btree|lsm                   (default btree)
+      --source=ID               source vertex (sssp/reachability/bfs-tree)
+      --iterations=K            PageRank iterations (default 10)
+      --checkpoint-interval=K   checkpoint every K supersteps (default off)
+      --max-supersteps=K        safety bound (default 1000)
+      --stats                   print per-superstep statistics
+)");
+  return 2;
+}
+
+Status RunCommand(const Flags& flags) {
+  DistributedFileSystem dfs(flags.Get("dfs"));
+  TempDir scratch("pregelix-cli");
+
+  ClusterConfig config;
+  config.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  config.worker_ram_bytes =
+      static_cast<size_t>(flags.GetInt("worker-ram-mb", 16)) << 20;
+  config.temp_root = scratch.Sub("cluster");
+  SimulatedCluster cluster(config);
+  PregelixRuntime runtime(&cluster, &dfs);
+
+  PregelixJobConfig job;
+  job.input_dir = flags.Get("input");
+  job.output_dir = flags.Get("output");
+  job.max_supersteps = static_cast<int>(flags.GetInt("max-supersteps", 1000));
+  job.checkpoint_interval =
+      static_cast<int>(flags.GetInt("checkpoint-interval", 0));
+
+  const std::string join = flags.Get("join", "fullouter");
+  job.join = join == "leftouter" ? JoinStrategy::kLeftOuter
+             : join == "adaptive" ? JoinStrategy::kAdaptive
+                                  : JoinStrategy::kFullOuter;
+  job.groupby = flags.Get("groupby", "sort") == "hashsort"
+                    ? GroupByStrategy::kHashSort
+                    : GroupByStrategy::kSort;
+  job.groupby_connector = flags.Get("connector", "unmerged") == "merged"
+                              ? GroupByConnector::kMerged
+                              : GroupByConnector::kUnmerged;
+  job.storage = flags.Get("storage", "btree") == "lsm"
+                    ? VertexStorage::kLsmBTree
+                    : VertexStorage::kBTree;
+
+  const std::string algorithm = flags.Get("algorithm");
+  const int64_t source = flags.GetInt("source", 0);
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 10));
+  job.name = "cli-" + algorithm;
+
+  // Own the typed program + adapter pair for the chosen algorithm.
+  std::unique_ptr<PregelProgram> adapter;
+  PageRankProgram pagerank(iterations);
+  SsspProgram sssp(source);
+  ConnectedComponentsProgram cc;
+  ReachabilityProgram reach(source);
+  TriangleCountProgram triangles;
+  MaximalCliquesProgram cliques;
+  BfsTreeProgram bfs_tree(source);
+  SccProgram scc;
+  if (algorithm == "pagerank") {
+    adapter = std::make_unique<PageRankProgram::Adapter>(&pagerank);
+  } else if (algorithm == "sssp") {
+    adapter = std::make_unique<SsspProgram::Adapter>(&sssp);
+  } else if (algorithm == "cc") {
+    adapter = std::make_unique<ConnectedComponentsProgram::Adapter>(&cc);
+  } else if (algorithm == "reachability") {
+    adapter = std::make_unique<ReachabilityProgram::Adapter>(&reach);
+  } else if (algorithm == "triangles") {
+    adapter = std::make_unique<TriangleCountProgram::Adapter>(&triangles);
+  } else if (algorithm == "cliques") {
+    adapter = std::make_unique<MaximalCliquesProgram::Adapter>(&cliques);
+  } else if (algorithm == "bfs-tree") {
+    adapter = std::make_unique<BfsTreeProgram::Adapter>(&bfs_tree);
+  } else if (algorithm == "scc") {
+    adapter = std::make_unique<SccProgram::Adapter>(&scc);
+  } else {
+    return Status::InvalidArgument("unknown --algorithm=" + algorithm);
+  }
+
+  JobResult result;
+  PREGELIX_RETURN_NOT_OK(runtime.Run(adapter.get(), job, &result));
+
+  printf("%s: %lld supersteps over %lld vertices / %lld edges\n",
+         algorithm.c_str(), static_cast<long long>(result.supersteps),
+         static_cast<long long>(result.final_gs.num_vertices),
+         static_cast<long long>(result.final_gs.num_edges));
+  printf("simulated: load %.3fs + supersteps %.3fs + dump %.3fs = %.3fs "
+         "(%.4fs/iteration); wall %.3fs\n",
+         result.load_sim_seconds, result.supersteps_sim_seconds,
+         result.dump_sim_seconds, result.total_sim_seconds,
+         result.avg_iteration_sim_seconds, result.wall_seconds);
+  if (algorithm == "triangles") {
+    int64_t total = 0;
+    if (DeserializeValue(Slice(result.final_gs.aggregate), &total)) {
+      printf("triangles: %lld\n", static_cast<long long>(total));
+    }
+  }
+  if (algorithm == "cliques") {
+    std::pair<int64_t, int64_t> agg;
+    if (DeserializeValue(Slice(result.final_gs.aggregate), &agg)) {
+      printf("maximal cliques (>=3): %lld, largest: %lld\n",
+             static_cast<long long>(agg.first),
+             static_cast<long long>(agg.second));
+    }
+  }
+  if (flags.Has("stats")) {
+    printf("%-10s %-8s %-12s %-10s %-10s %-12s %-10s\n", "superstep", "join",
+           "sim-seconds", "live", "messages", "disk-bytes", "net-bytes");
+    for (const SuperstepStats& s : result.superstep_stats) {
+      printf("%-10lld %-8s %-12.4f %-10lld %-10lld %-12llu %-10llu\n",
+             static_cast<long long>(s.superstep),
+             s.used_left_outer_join ? "LOJ" : "FOJ", s.sim_seconds,
+             static_cast<long long>(s.live_vertices),
+             static_cast<long long>(s.messages),
+             static_cast<unsigned long long>(
+                 s.cluster_delta.disk_read_bytes +
+                 s.cluster_delta.disk_write_bytes),
+             static_cast<unsigned long long>(s.cluster_delta.net_bytes));
+    }
+  }
+  if (!job.output_dir.empty()) {
+    printf("results in %s\n", dfs.Resolve(job.output_dir).c_str());
+  }
+  return Status::OK();
+}
+
+Status GenerateCommand(const Flags& flags) {
+  DistributedFileSystem dfs(flags.Get("dfs"));
+  GraphStats stats;
+  const std::string type = flags.Get("type", "webmap");
+  const int64_t vertices = flags.GetInt("vertices", 10000);
+  const int parts = static_cast<int>(flags.GetInt("parts", 4));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (type == "webmap") {
+    PREGELIX_RETURN_NOT_OK(GenerateWebmapLike(
+        dfs, flags.Get("out"), parts, vertices,
+        std::stod(flags.Get("degree", "8.0")), seed, &stats));
+  } else if (type == "btc") {
+    PREGELIX_RETURN_NOT_OK(GenerateBtcLike(
+        dfs, flags.Get("out"), parts, vertices,
+        std::stod(flags.Get("degree", "8.94")), seed, &stats));
+  } else {
+    return Status::InvalidArgument("unknown --type=" + type);
+  }
+  printf("%s: %lld vertices, %llu edges (avg degree %.2f), %.2f MB\n",
+         flags.Get("out").c_str(), static_cast<long long>(stats.num_vertices),
+         static_cast<unsigned long long>(stats.num_edges),
+         stats.avg_degree(),
+         static_cast<double>(stats.size_bytes) / (1 << 20));
+  return Status::OK();
+}
+
+Status StatsCommand(const Flags& flags) {
+  DistributedFileSystem dfs(flags.Get("dfs"));
+  GraphStats stats;
+  PREGELIX_RETURN_NOT_OK(MeasureGraph(dfs, flags.Get("input"), &stats));
+  printf("%s: %lld vertices, %llu edges (avg degree %.2f), %.2f MB\n",
+         flags.Get("input").c_str(),
+         static_cast<long long>(stats.num_vertices),
+         static_cast<unsigned long long>(stats.num_edges),
+         stats.avg_degree(),
+         static_cast<double>(stats.size_bytes) / (1 << 20));
+  return Status::OK();
+}
+
+Status SampleCommand(const Flags& flags) {
+  DistributedFileSystem dfs(flags.Get("dfs"));
+  PREGELIX_RETURN_NOT_OK(SampleGraphDir(
+      dfs, flags.Get("input"), flags.Get("out"),
+      static_cast<int>(flags.GetInt("parts", 4)),
+      flags.GetInt("vertices", 1000),
+      static_cast<uint64_t>(flags.GetInt("seed", 42))));
+  GraphStats stats;
+  PREGELIX_RETURN_NOT_OK(MeasureGraph(dfs, flags.Get("out"), &stats));
+  printf("sampled %s -> %s: %lld vertices, %llu edges\n",
+         flags.Get("input").c_str(), flags.Get("out").c_str(),
+         static_cast<long long>(stats.num_vertices),
+         static_cast<unsigned long long>(stats.num_edges));
+  return Status::OK();
+}
+
+Status ScaleUpCommand(const Flags& flags) {
+  DistributedFileSystem dfs(flags.Get("dfs"));
+  GraphStats stats;
+  PREGELIX_RETURN_NOT_OK(ScaleUpGraph(
+      dfs, flags.Get("input"), flags.Get("out"),
+      static_cast<int>(flags.GetInt("parts", 4)),
+      static_cast<int>(flags.GetInt("factor", 2)), &stats));
+  printf("scaled %s x%lld -> %s: %lld vertices, %llu edges\n",
+         flags.Get("input").c_str(),
+         static_cast<long long>(flags.GetInt("factor", 2)),
+         flags.Get("out").c_str(),
+         static_cast<long long>(stats.num_vertices),
+         static_cast<unsigned long long>(stats.num_edges));
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      fprintf(stderr, "bad flag: %s\n", arg.c_str());
+      return Usage();
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "true";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  if (!flags.Has("dfs")) {
+    fprintf(stderr, "--dfs=<root-dir> is required\n");
+    return Usage();
+  }
+  Status s;
+  if (command == "run") {
+    s = RunCommand(flags);
+  } else if (command == "generate") {
+    s = GenerateCommand(flags);
+  } else if (command == "stats") {
+    s = StatsCommand(flags);
+  } else if (command == "sample") {
+    s = SampleCommand(flags);
+  } else if (command == "scaleup") {
+    s = ScaleUpCommand(flags);
+  } else {
+    return Usage();
+  }
+  if (!s.ok()) {
+    fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pregelix
+
+int main(int argc, char** argv) { return pregelix::Main(argc, argv); }

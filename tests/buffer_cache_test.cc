@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "buffer/buffer_cache.h"
+#include "common/metrics.h"
+#include "common/temp_dir.h"
+
+namespace pregelix {
+namespace {
+
+constexpr size_t kPage = 256;
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  TempDir dir_{"bufcache-test"};
+  WorkerMetrics metrics_;
+};
+
+TEST_F(BufferCacheTest, AllocateWriteReadBack) {
+  BufferCache cache(kPage, 8, &metrics_);
+  int fid;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/f", &fid).ok());
+  PageHandle page;
+  ASSERT_TRUE(cache.AllocatePage(fid, &page).ok());
+  EXPECT_EQ(page.page_id(), 0u);
+  memcpy(page.data(), "hello", 5);
+  page.MarkDirty();
+  page.Release();
+
+  PageHandle again;
+  ASSERT_TRUE(cache.Pin(fid, 0, &again).ok());
+  EXPECT_EQ(memcmp(again.data(), "hello", 5), 0);
+}
+
+TEST_F(BufferCacheTest, EvictionWritesBackDirtyPages) {
+  BufferCache cache(kPage, 4, &metrics_);
+  int fid;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/f", &fid).ok());
+  // Create 16 pages through a 4-page cache; each carries its index.
+  for (int i = 0; i < 16; ++i) {
+    PageHandle page;
+    ASSERT_TRUE(cache.AllocatePage(fid, &page).ok());
+    memcpy(page.data(), &i, sizeof(i));
+    page.MarkDirty();
+  }
+  EXPECT_GT(cache.eviction_count(), 0u);
+  // All pages must come back with their contents.
+  for (int i = 0; i < 16; ++i) {
+    PageHandle page;
+    ASSERT_TRUE(cache.Pin(fid, i, &page).ok());
+    int stored;
+    memcpy(&stored, page.data(), sizeof(stored));
+    EXPECT_EQ(stored, i);
+  }
+}
+
+TEST_F(BufferCacheTest, PinnedPagesAreNotEvictable) {
+  BufferCache cache(kPage, 2, &metrics_);
+  int fid;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/f", &fid).ok());
+  PageHandle a, b;
+  ASSERT_TRUE(cache.AllocatePage(fid, &a).ok());
+  ASSERT_TRUE(cache.AllocatePage(fid, &b).ok());
+  PageHandle c;
+  // Both slots pinned: a third allocation must fail, not evict.
+  EXPECT_EQ(cache.AllocatePage(fid, &c).code(),
+            StatusCode::kResourceExhausted);
+  a.Release();
+  ASSERT_TRUE(cache.AllocatePage(fid, &c).ok());
+}
+
+TEST_F(BufferCacheTest, HitAndMissCounters) {
+  BufferCache cache(kPage, 4, &metrics_);
+  int fid;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/f", &fid).ok());
+  {
+    PageHandle page;
+    ASSERT_TRUE(cache.AllocatePage(fid, &page).ok());
+    page.MarkDirty();
+  }
+  const uint64_t misses_before = cache.miss_count();
+  {
+    PageHandle page;
+    ASSERT_TRUE(cache.Pin(fid, 0, &page).ok());
+  }
+  EXPECT_EQ(cache.miss_count(), misses_before);
+  EXPECT_GT(cache.hit_count(), 0u);
+}
+
+TEST_F(BufferCacheTest, PersistsAcrossReopen) {
+  {
+    BufferCache cache(kPage, 4, &metrics_);
+    int fid;
+    ASSERT_TRUE(cache.OpenFile(dir_.path() + "/p", &fid).ok());
+    PageHandle page;
+    ASSERT_TRUE(cache.AllocatePage(fid, &page).ok());
+    memcpy(page.data(), "persist", 7);
+    page.MarkDirty();
+    page.Release();
+    ASSERT_TRUE(cache.FlushFile(fid).ok());
+  }
+  BufferCache cache(kPage, 4, &metrics_);
+  int fid;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/p", &fid).ok());
+  EXPECT_EQ(cache.NumPages(fid), 1u);
+  PageHandle page;
+  ASSERT_TRUE(cache.Pin(fid, 0, &page).ok());
+  EXPECT_EQ(memcmp(page.data(), "persist", 7), 0);
+}
+
+TEST_F(BufferCacheTest, SeeksAreMeteredOnMiss) {
+  {
+    BufferCache cache(kPage, 2, &metrics_);
+    int fid;
+    ASSERT_TRUE(cache.OpenFile(dir_.path() + "/s", &fid).ok());
+    for (int i = 0; i < 8; ++i) {
+      PageHandle page;
+      ASSERT_TRUE(cache.AllocatePage(fid, &page).ok());
+      page.MarkDirty();
+    }
+    ASSERT_TRUE(cache.FlushFile(fid).ok());
+  }
+  metrics_.Reset();
+  BufferCache cache(kPage, 2, &metrics_);
+  int fid;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/s", &fid).ok());
+  // Sequential misses pay one seek (readahead); the bytes are all charged.
+  for (int i = 0; i < 8; ++i) {
+    PageHandle page;
+    ASSERT_TRUE(cache.Pin(fid, i, &page).ok());
+  }
+  EXPECT_EQ(metrics_.Snapshot().disk_seeks, 1u);
+  EXPECT_EQ(metrics_.Snapshot().disk_read_bytes, 8 * kPage);
+  // Random misses each pay a seek.
+  for (int i = 6; i >= 0; i -= 2) {
+    PageHandle page;
+    ASSERT_TRUE(cache.Pin(fid, i, &page).ok());
+  }
+  EXPECT_GE(metrics_.Snapshot().disk_seeks, 3u);
+}
+
+TEST_F(BufferCacheTest, DeleteFileRemovesBacking) {
+  BufferCache cache(kPage, 4, &metrics_);
+  int fid;
+  const std::string path = dir_.path() + "/d";
+  ASSERT_TRUE(cache.OpenFile(path, &fid).ok());
+  {
+    PageHandle page;
+    ASSERT_TRUE(cache.AllocatePage(fid, &page).ok());
+    page.MarkDirty();
+  }
+  ASSERT_TRUE(cache.DeleteFile(fid).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST_F(BufferCacheTest, TwoFilesDoNotAlias) {
+  BufferCache cache(kPage, 8, &metrics_);
+  int f1, f2;
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/f1", &f1).ok());
+  ASSERT_TRUE(cache.OpenFile(dir_.path() + "/f2", &f2).ok());
+  {
+    PageHandle a, b;
+    ASSERT_TRUE(cache.AllocatePage(f1, &a).ok());
+    ASSERT_TRUE(cache.AllocatePage(f2, &b).ok());
+    memcpy(a.data(), "AAAA", 4);
+    memcpy(b.data(), "BBBB", 4);
+    a.MarkDirty();
+    b.MarkDirty();
+  }
+  PageHandle a, b;
+  ASSERT_TRUE(cache.Pin(f1, 0, &a).ok());
+  ASSERT_TRUE(cache.Pin(f2, 0, &b).ok());
+  EXPECT_EQ(memcmp(a.data(), "AAAA", 4), 0);
+  EXPECT_EQ(memcmp(b.data(), "BBBB", 4), 0);
+}
+
+}  // namespace
+}  // namespace pregelix

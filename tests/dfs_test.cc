@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/temp_dir.h"
+#include "dfs/dfs.h"
+
+namespace pregelix {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest() : dfs_(dir_.Sub("dfs-root")) {}
+
+  TempDir dir_{"dfs-test"};
+  DistributedFileSystem dfs_;
+};
+
+TEST_F(DfsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(dfs_.Write("a/b/c.txt", "payload").ok());
+  std::string out;
+  ASSERT_TRUE(dfs_.Read("a/b/c.txt", &out).ok());
+  EXPECT_EQ(out, "payload");
+  EXPECT_TRUE(dfs_.Exists("a/b/c.txt"));
+  EXPECT_FALSE(dfs_.Exists("a/b/missing.txt"));
+}
+
+TEST_F(DfsTest, WriteIsAtomicReplace) {
+  ASSERT_TRUE(dfs_.Write("gs", "superstep=1").ok());
+  ASSERT_TRUE(dfs_.Write("gs", "superstep=2").ok());
+  std::string out;
+  ASSERT_TRUE(dfs_.Read("gs", &out).ok());
+  EXPECT_EQ(out, "superstep=2");
+}
+
+TEST_F(DfsTest, AppendAccumulates) {
+  ASSERT_TRUE(dfs_.Append("log", "a").ok());
+  ASSERT_TRUE(dfs_.Append("log", "b").ok());
+  std::string out;
+  ASSERT_TRUE(dfs_.Read("log", &out).ok());
+  EXPECT_EQ(out, "ab");
+}
+
+TEST_F(DfsTest, ListsPartFilesSorted) {
+  ASSERT_TRUE(dfs_.Write("input/part-2", "x").ok());
+  ASSERT_TRUE(dfs_.Write("input/part-0", "x").ok());
+  ASSERT_TRUE(dfs_.Write("input/part-1", "x").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(dfs_.List("input", &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"part-0", "part-1", "part-2"}));
+}
+
+TEST_F(DfsTest, ListMissingDirFails) {
+  std::vector<std::string> names;
+  EXPECT_FALSE(dfs_.List("no-such-dir", &names).ok());
+}
+
+TEST_F(DfsTest, DeleteAndRecursiveDelete) {
+  ASSERT_TRUE(dfs_.Write("ckpt/3/vertex-part-0", "x").ok());
+  ASSERT_TRUE(dfs_.Write("ckpt/3/msg-part-0", "x").ok());
+  ASSERT_TRUE(dfs_.Delete("ckpt/3/msg-part-0").ok());
+  EXPECT_FALSE(dfs_.Exists("ckpt/3/msg-part-0"));
+  EXPECT_TRUE(dfs_.Exists("ckpt/3/vertex-part-0"));
+  ASSERT_TRUE(dfs_.DeleteRecursive("ckpt").ok());
+  EXPECT_FALSE(dfs_.Exists("ckpt/3/vertex-part-0"));
+}
+
+TEST_F(DfsTest, ReadMissingIsNotFound) {
+  std::string out;
+  EXPECT_TRUE(dfs_.Read("missing", &out).IsNotFound());
+}
+
+}  // namespace
+}  // namespace pregelix

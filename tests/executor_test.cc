@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/serde.h"
+#include "common/temp_dir.h"
+#include "dataflow/executor.h"
+#include "dataflow/frame.h"
+#include "dataflow/job.h"
+#include "dataflow/operator.h"
+
+namespace pregelix {
+namespace {
+
+/// Shared collection target for sink operators.
+struct Collected {
+  std::mutex mutex;
+  std::map<int, std::vector<std::pair<int64_t, std::string>>> by_partition;
+
+  void Add(int partition, int64_t key, std::string payload) {
+    std::lock_guard<std::mutex> lock(mutex);
+    by_partition[partition].emplace_back(key, std::move(payload));
+  }
+  size_t Total() {
+    std::lock_guard<std::mutex> lock(mutex);
+    size_t n = 0;
+    for (auto& [p, v] : by_partition) n += v.size();
+    return n;
+  }
+};
+
+/// Source operator: emits `count` (vid, payload) tuples per partition.
+std::shared_ptr<OperatorDescriptor> MakeGenerator(int count,
+                                                  bool sorted = false) {
+  return std::make_shared<LambdaOperatorDescriptor>(
+      "gen", [count, sorted](TaskContext& ctx) -> Status {
+        for (int i = 0; i < count; ++i) {
+          const int64_t vid =
+              sorted ? static_cast<int64_t>(i) * ctx.num_partitions +
+                           ctx.partition
+                     : static_cast<int64_t>(i);
+          const std::string key = OrderedKeyI64(vid);
+          const std::string payload =
+              "from-p" + std::to_string(ctx.partition);
+          const Slice t[2] = {Slice(key), Slice(payload)};
+          PREGELIX_RETURN_NOT_OK(ctx.output(0).Append(t));
+        }
+        return Status::OK();
+      });
+}
+
+/// Sink operator: drains input 0 into the Collected struct.
+std::shared_ptr<OperatorDescriptor> MakeCollector() {
+  return std::make_shared<LambdaOperatorDescriptor>(
+      "collect", [](TaskContext& ctx) -> Status {
+        auto* collected = static_cast<Collected*>(ctx.runtime_context);
+        FrameTupleAccessor acc(2);
+        std::string frame;
+        while (ctx.input(0).Next(&frame)) {
+          acc.Reset(Slice(frame));
+          for (int t = 0; t < acc.tuple_count(); ++t) {
+            collected->Add(ctx.partition,
+                           DecodeOrderedI64(acc.field(t, 0).data()),
+                           acc.field(t, 1).ToString());
+          }
+        }
+        return Status::OK();
+      });
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ClusterConfig MakeConfig(int workers) {
+    ClusterConfig config;
+    config.num_workers = workers;
+    config.temp_root = dir_.Sub("cluster");
+    config.frame_size = 1024;
+    config.channel_capacity_frames = 4;
+    return config;
+  }
+
+  TempDir dir_{"executor-test"};
+};
+
+TEST_F(ExecutorTest, MToNPartitionRoutesByHash) {
+  SimulatedCluster cluster(MakeConfig(4));
+  Collected collected;
+  JobSpec spec;
+  spec.set_name("m2n");
+  const int gen = spec.AddOperator(MakeGenerator(500), 4);
+  const int sink = spec.AddOperator(MakeCollector(), 4);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartition;
+  conn.field_count = 2;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  // 4 generators x 500 tuples all arrive.
+  EXPECT_EQ(collected.Total(), 2000u);
+  // Every tuple lands on the hash-designated partition.
+  for (auto& [p, tuples] : collected.by_partition) {
+    for (auto& [vid, payload] : tuples) {
+      const std::string key = OrderedKeyI64(vid);
+      EXPECT_EQ(Hash64(Slice(key)) % 4, static_cast<uint64_t>(p));
+    }
+  }
+}
+
+TEST_F(ExecutorTest, MToOneGathersEverything) {
+  SimulatedCluster cluster(MakeConfig(3));
+  Collected collected;
+  JobSpec spec;
+  const int gen = spec.AddOperator(MakeGenerator(100), 3);
+  const int sink = spec.AddOperator(MakeCollector(), 1);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToOne;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  EXPECT_EQ(collected.Total(), 300u);
+  EXPECT_EQ(collected.by_partition.size(), 1u);
+  EXPECT_EQ(collected.by_partition[0].size(), 300u);
+}
+
+TEST_F(ExecutorTest, OneToOneStaysLocal) {
+  SimulatedCluster cluster(MakeConfig(3));
+  Collected collected;
+  JobSpec spec;
+  const int gen = spec.AddOperator(MakeGenerator(50), 3);
+  const int sink = spec.AddOperator(MakeCollector(), 3);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kOneToOne;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  EXPECT_EQ(collected.Total(), 150u);
+  // Each partition received exactly its own generator's tuples.
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_EQ(collected.by_partition[p].size(), 50u);
+    for (auto& [vid, payload] : collected.by_partition[p]) {
+      EXPECT_EQ(payload, "from-p" + std::to_string(p));
+    }
+  }
+}
+
+TEST_F(ExecutorTest, MergingConnectorDeliversSortedStreams) {
+  SimulatedCluster cluster(MakeConfig(4));
+  Collected collected;
+  JobSpec spec;
+  // Sorted generators + identity routing on vid ranges: use hash routing but
+  // verify per-partition arrival order is key-sorted (the merge property).
+  const int gen = spec.AddOperator(MakeGenerator(400, /*sorted=*/true), 4);
+  const int sink = spec.AddOperator(MakeCollector(), 4);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartitionMerge;
+  conn.field_count = 2;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  EXPECT_EQ(collected.Total(), 1600u);
+  for (auto& [p, tuples] : collected.by_partition) {
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      EXPECT_LE(tuples[i - 1].first, tuples[i].first)
+          << "partition " << p << " out of order at " << i;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, PipelinedMergePolicyOverrideAlsoWorks) {
+  // With ample channel capacity a pipelined merging connector is safe and
+  // must produce the same sorted result.
+  ClusterConfig config = MakeConfig(2);
+  config.channel_capacity_frames = 1024;
+  SimulatedCluster cluster(config);
+  Collected collected;
+  JobSpec spec;
+  const int gen = spec.AddOperator(MakeGenerator(200, /*sorted=*/true), 2);
+  const int sink = spec.AddOperator(MakeCollector(), 2);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartitionMerge;
+  conn.policy = ConnectorSpec::Policy::kPipelined;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  EXPECT_EQ(collected.Total(), 400u);
+  for (auto& [p, tuples] : collected.by_partition) {
+    EXPECT_TRUE(std::is_sorted(tuples.begin(), tuples.end()));
+  }
+}
+
+TEST_F(ExecutorTest, BackpressureDoesNotDeadlockPipelines) {
+  // Tiny channels, big data: senders must block and resume correctly.
+  ClusterConfig config = MakeConfig(2);
+  config.channel_capacity_frames = 1;
+  config.frame_size = 256;
+  SimulatedCluster cluster(config);
+  Collected collected;
+  JobSpec spec;
+  const int gen = spec.AddOperator(MakeGenerator(3000), 2);
+  const int sink = spec.AddOperator(MakeCollector(), 2);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartition;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  EXPECT_EQ(collected.Total(), 6000u);
+}
+
+TEST_F(ExecutorTest, FailingOperatorAbortsJob) {
+  SimulatedCluster cluster(MakeConfig(2));
+  Collected collected;
+  JobSpec spec;
+  spec.set_name("failing-job");
+  const int gen = spec.AddOperator(MakeGenerator(100000), 2);
+  auto failing = std::make_shared<LambdaOperatorDescriptor>(
+      "boom", [](TaskContext& ctx) -> Status {
+        std::string frame;
+        ctx.input(0).Next(&frame);
+        return Status::Internal("synthetic failure");
+      });
+  const int sink = spec.AddOperator(failing, 2);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartition;
+  spec.Connect(conn);
+
+  Status s = RunJob(cluster, spec, &collected);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("synthetic failure"), std::string::npos);
+  EXPECT_NE(s.message().find("failing-job"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, TwoStagePipelineWithBranches) {
+  // gen --(m2n)--> relay --(m2one)--> sink   and relay also counts locally.
+  SimulatedCluster cluster(MakeConfig(2));
+  Collected collected;
+  JobSpec spec;
+  const int gen = spec.AddOperator(MakeGenerator(100), 2);
+  auto relay = std::make_shared<LambdaOperatorDescriptor>(
+      "relay", [](TaskContext& ctx) -> Status {
+        FrameTupleAccessor acc(2);
+        std::string frame;
+        while (ctx.input(0).Next(&frame)) {
+          acc.Reset(Slice(frame));
+          for (int t = 0; t < acc.tuple_count(); ++t) {
+            const Slice fields[2] = {acc.field(t, 0), acc.field(t, 1)};
+            PREGELIX_RETURN_NOT_OK(ctx.output(0).Append(fields));
+          }
+        }
+        return Status::OK();
+      });
+  const int mid = spec.AddOperator(relay, 2);
+  const int sink = spec.AddOperator(MakeCollector(), 1);
+  ConnectorSpec c1;
+  c1.src_op = gen;
+  c1.dst_op = mid;
+  c1.kind = ConnectorKind::kMToNPartition;
+  spec.Connect(c1);
+  ConnectorSpec c2;
+  c2.src_op = mid;
+  c2.dst_op = sink;
+  c2.kind = ConnectorKind::kMToOne;
+  spec.Connect(c2);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  EXPECT_EQ(collected.Total(), 200u);
+}
+
+TEST_F(ExecutorTest, NetworkBytesMeteredForCrossWorkerTraffic) {
+  SimulatedCluster cluster(MakeConfig(2));
+  Collected collected;
+  JobSpec spec;
+  const int gen = spec.AddOperator(MakeGenerator(2000), 2);
+  const int sink = spec.AddOperator(MakeCollector(), 2);
+  ConnectorSpec conn;
+  conn.src_op = gen;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartition;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  uint64_t net = 0;
+  for (const auto& snap : cluster.SnapshotAll()) net += snap.net_bytes;
+  EXPECT_GT(net, 0u);
+}
+
+TEST_F(ExecutorTest, OversizedTuplesCrossConnectors) {
+  SimulatedCluster cluster(MakeConfig(2));
+  Collected collected;
+  JobSpec spec;
+  auto gen = std::make_shared<LambdaOperatorDescriptor>(
+      "gen-big", [](TaskContext& ctx) -> Status {
+        // A payload far larger than the frame size (1 KB frames).
+        const std::string huge(10000, 'x');
+        const std::string key = OrderedKeyI64(ctx.partition);
+        const Slice t[2] = {Slice(key), Slice(huge)};
+        return ctx.output(0).Append(t);
+      });
+  const int g = spec.AddOperator(gen, 2);
+  const int sink = spec.AddOperator(MakeCollector(), 2);
+  ConnectorSpec conn;
+  conn.src_op = g;
+  conn.dst_op = sink;
+  conn.kind = ConnectorKind::kMToNPartition;
+  spec.Connect(conn);
+
+  ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());
+  ASSERT_EQ(collected.Total(), 2u);
+  for (auto& [p, tuples] : collected.by_partition) {
+    for (auto& [vid, payload] : tuples) {
+      EXPECT_EQ(payload.size(), 10000u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pregelix

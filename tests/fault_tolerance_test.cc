@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "algorithms/algorithms.h"
+#include "common/temp_dir.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "graph/generator.h"
+#include "graph/ref_algos.h"
+#include "graph/text_io.h"
+#include "pregel/runtime.h"
+
+namespace pregelix {
+namespace {
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  FaultToleranceTest() : dfs_(dir_.Sub("dfs")) {
+    ClusterConfig config;
+    config.num_workers = 3;
+    config.worker_ram_bytes = 8u << 20;
+    config.temp_root = dir_.Sub("cluster");
+    cluster_ = std::make_unique<SimulatedCluster>(config);
+    runtime_ = std::make_unique<PregelixRuntime>(cluster_.get(), &dfs_);
+    GraphStats stats;
+    EXPECT_TRUE(
+        GenerateBtcLike(dfs_, "input", 3, 400, 6.0, 21, &stats).ok());
+    InMemoryGraph graph;
+    EXPECT_TRUE(LoadGraph(dfs_, "input", &graph).ok());
+    expected_ = SsspRef(graph, 0);
+  }
+
+  void VerifyOutput(const std::string& dir) {
+    std::vector<std::string> names;
+    ASSERT_TRUE(dfs_.List(dir, &names).ok());
+    int64_t seen = 0;
+    for (const std::string& name : names) {
+      std::string contents;
+      ASSERT_TRUE(dfs_.Read(dir + "/" + name, &contents).ok());
+      std::istringstream lines(contents);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        int64_t vid;
+        std::string value;
+        fields >> vid >> value;
+        if (expected_[vid] < 0) {
+          EXPECT_EQ(value, "inf");
+        } else {
+          EXPECT_NEAR(std::stod(value), expected_[vid], 1e-9) << "vid " << vid;
+        }
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, static_cast<int64_t>(expected_.size()));
+  }
+
+  TempDir dir_{"ft-test"};
+  DistributedFileSystem dfs_;
+  std::unique_ptr<SimulatedCluster> cluster_;
+  std::unique_ptr<PregelixRuntime> runtime_;
+  std::vector<double> expected_;
+};
+
+TEST_F(FaultToleranceTest, RecoversFromCheckpointAfterWorkerFailure) {
+  SsspProgram program(0);
+  SsspProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "sssp-ft";
+  job.input_dir = "input";
+  job.output_dir = "out-ckpt";
+  job.checkpoint_interval = 2;
+  runtime_->InjectFailure(/*superstep=*/5, /*worker=*/1);
+  JobResult result;
+  Status s = runtime_->Run(&adapter, job, &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(result.recoveries, 1);
+  VerifyOutput("out-ckpt");
+}
+
+TEST_F(FaultToleranceTest, RestartsFromLoadWithoutCheckpoints) {
+  SsspProgram program(0);
+  SsspProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "sssp-nockpt";
+  job.input_dir = "input";
+  job.output_dir = "out-nockpt";
+  job.checkpoint_interval = 0;  // no checkpoints: failure -> full restart
+  runtime_->InjectFailure(/*superstep=*/4, /*worker=*/0);
+  JobResult result;
+  Status s = runtime_->Run(&adapter, job, &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(result.recoveries, 1);
+  VerifyOutput("out-nockpt");
+}
+
+TEST_F(FaultToleranceTest, RecoveryWorksWithLeftOuterJoinPlan) {
+  SsspProgram program(0);
+  SsspProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "sssp-ft-loj";
+  job.input_dir = "input";
+  job.output_dir = "out-loj";
+  job.join = JoinStrategy::kLeftOuter;
+  job.checkpoint_interval = 2;
+  runtime_->InjectFailure(/*superstep=*/3, /*worker=*/2);
+  JobResult result;
+  Status s = runtime_->Run(&adapter, job, &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(result.recoveries, 1);
+  VerifyOutput("out-loj");
+}
+
+TEST_F(FaultToleranceTest, RecoveryWorksWithLsmStorage) {
+  SsspProgram program(0);
+  SsspProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "sssp-ft-lsm";
+  job.input_dir = "input";
+  job.output_dir = "out-lsm-ft";
+  job.storage = VertexStorage::kLsmBTree;
+  job.checkpoint_interval = 2;
+  runtime_->InjectFailure(/*superstep=*/4, /*worker=*/1);
+  JobResult result;
+  Status s = runtime_->Run(&adapter, job, &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(result.recoveries, 1);
+  VerifyOutput("out-lsm-ft");
+}
+
+TEST_F(FaultToleranceTest, PipelinedJobsShareVertexState) {
+  // Two compatible jobs chained without re-loading (paper Section 5.6):
+  // SSSP from vertex 1, then SSSP from vertex 0 over the same vertex
+  // storage. The handoff reactivates all vertices and clears Msg; the
+  // second job's superstep 1 re-initializes values, as a chained graph
+  // cleaning pass would.
+  SsspProgram first(1);
+  SsspProgram::Adapter first_adapter(&first);
+  SsspProgram second(0);
+  SsspProgram::Adapter second_adapter(&second);
+
+  PregelixJobConfig job1;
+  job1.name = "pipe";
+  job1.input_dir = "input";
+  PregelixJobConfig job2 = job1;
+  job2.output_dir = "out-pipe";
+  job2.join = JoinStrategy::kLeftOuter;
+
+  std::vector<std::pair<PregelProgram*, PregelixJobConfig>> jobs = {
+      {&first_adapter, job1}, {&second_adapter, job2}};
+  std::vector<JobResult> results;
+  Status s = runtime_->RunPipeline(jobs, &results);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].supersteps, 1);
+  EXPECT_GT(results[1].supersteps, 1);
+  VerifyOutput("out-pipe");
+}
+
+}  // namespace
+}  // namespace pregelix

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "algorithms/algorithms.h"
+#include "common/temp_dir.h"
+#include "dataflow/cluster.h"
+#include "dfs/dfs.h"
+#include "graph/generator.h"
+#include "graph/ref_algos.h"
+#include "graph/text_io.h"
+#include "pregel/runtime.h"
+
+namespace pregelix {
+namespace {
+
+/// Property sweep over cluster shapes: (workers, partitions-per-worker,
+/// frame size). Every shape must compute identical SSSP results — partition
+/// count, worker mapping, and frame granularity are performance knobs, never
+/// correctness knobs.
+using ShapeParam = std::tuple<int, int, int>;  // workers, ppw, frame KB
+
+class ClusterShapeTest : public ::testing::TestWithParam<ShapeParam> {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("shape-sweep");
+    dfs_ = new DistributedFileSystem(dir_->Sub("dfs"));
+    GraphStats stats;
+    ASSERT_TRUE(GenerateBtcLike(*dfs_, "input", 5, 700, 7.0, 55, &stats).ok());
+    InMemoryGraph graph;
+    ASSERT_TRUE(LoadGraph(*dfs_, "input", &graph).ok());
+    expected_ = new std::vector<double>(SsspRef(graph, 0));
+  }
+  static void TearDownTestSuite() {
+    delete expected_;
+    delete dfs_;
+    delete dir_;
+    expected_ = nullptr;
+    dfs_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static TempDir* dir_;
+  static DistributedFileSystem* dfs_;
+  static std::vector<double>* expected_;
+};
+
+TempDir* ClusterShapeTest::dir_ = nullptr;
+DistributedFileSystem* ClusterShapeTest::dfs_ = nullptr;
+std::vector<double>* ClusterShapeTest::expected_ = nullptr;
+
+TEST_P(ClusterShapeTest, SsspInvariantAcrossClusterShapes) {
+  const auto [workers, ppw, frame_kb] = GetParam();
+  ClusterConfig config;
+  config.num_workers = workers;
+  config.partitions_per_worker = ppw;
+  config.worker_ram_bytes = 4u << 20;
+  config.frame_size = static_cast<size_t>(frame_kb) * 1024;
+  config.temp_root = dir_->Sub("c" + std::to_string(workers) + "-" +
+                               std::to_string(ppw) + "-" +
+                               std::to_string(frame_kb));
+  SimulatedCluster cluster(config);
+  PregelixRuntime runtime(&cluster, dfs_);
+
+  SsspProgram program(0);
+  SsspProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "shape";
+  job.input_dir = "input";
+  job.output_dir = "out-" + std::to_string(workers) + "-" +
+                   std::to_string(ppw) + "-" + std::to_string(frame_kb);
+  JobResult result;
+  Status s = runtime.Run(&adapter, job, &result);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(dfs_->List(job.output_dir, &names).ok());
+  int64_t seen = 0;
+  for (const std::string& name : names) {
+    std::string contents;
+    ASSERT_TRUE(dfs_->Read(job.output_dir + "/" + name, &contents).ok());
+    std::istringstream lines(contents);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      std::istringstream fields(line);
+      int64_t vid;
+      std::string value;
+      fields >> vid >> value;
+      if ((*expected_)[vid] < 0) {
+        EXPECT_EQ(value, "inf");
+      } else {
+        EXPECT_NEAR(std::stod(value), (*expected_)[vid], 1e-9)
+            << "vid " << vid;
+      }
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, static_cast<int64_t>(expected_->size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterShapeTest,
+    ::testing::Values(ShapeParam{1, 1, 8},   // single worker
+                      ShapeParam{2, 2, 8},   // multiple partitions per worker
+                      ShapeParam{3, 1, 4},   // small frames
+                      ShapeParam{2, 3, 2},   // tiny frames, 6 partitions
+                      ShapeParam{5, 1, 32},  // wide cluster, big frames
+                      ShapeParam{4, 2, 16}));
+
+/// Concurrent jobs on one shared cluster must not interfere (Figure 13's
+/// multi-user scenario, asserted for correctness rather than throughput).
+TEST(ConcurrentJobsTest, ParallelJobsComputeIndependentCorrectResults) {
+  TempDir dir("concurrent-jobs");
+  DistributedFileSystem dfs(dir.Sub("dfs"));
+  GraphStats stats;
+  ASSERT_TRUE(GenerateBtcLike(dfs, "g1", 3, 400, 6.0, 71, &stats).ok());
+  ASSERT_TRUE(GenerateWebmapLike(dfs, "g2", 3, 400, 6.0, 72, &stats).ok());
+  InMemoryGraph graph1, graph2;
+  ASSERT_TRUE(LoadGraph(dfs, "g1", &graph1).ok());
+  ASSERT_TRUE(LoadGraph(dfs, "g2", &graph2).ok());
+  const std::vector<double> sssp_ref = SsspRef(graph1, 0);
+  const std::vector<double> pr_ref = PageRankRef(graph2, 5);
+  const std::vector<int64_t> cc_ref = CcRef(graph1);
+
+  ClusterConfig config;
+  config.num_workers = 3;
+  config.worker_ram_bytes = 4u << 20;
+  config.temp_root = dir.Sub("cluster");
+  SimulatedCluster cluster(config);
+
+  std::atomic<int> failures{0};
+  auto run = [&](auto fn) {
+    return std::thread([&, fn]() {
+      if (!fn()) failures.fetch_add(1);
+    });
+  };
+  auto parse = [&dfs](const std::string& out_dir,
+                      std::map<int64_t, std::string>* result) {
+    std::vector<std::string> names;
+    if (!dfs.List(out_dir, &names).ok()) return false;
+    for (const std::string& name : names) {
+      std::string contents;
+      if (!dfs.Read(out_dir + "/" + name, &contents).ok()) return false;
+      std::istringstream lines(contents);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        int64_t vid;
+        std::string value;
+        fields >> vid >> value;
+        (*result)[vid] = value;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::thread> threads;
+  threads.push_back(run([&]() {
+    PregelixRuntime runtime(&cluster, &dfs);
+    SsspProgram program(0);
+    SsspProgram::Adapter adapter(&program);
+    PregelixJobConfig job;
+    job.name = "conc-sssp";
+    job.input_dir = "g1";
+    job.output_dir = "conc-sssp-out";
+    job.join = JoinStrategy::kLeftOuter;
+    JobResult result;
+    if (!runtime.Run(&adapter, job, &result).ok()) return false;
+    std::map<int64_t, std::string> out;
+    if (!parse("conc-sssp-out", &out)) return false;
+    for (auto& [vid, value] : out) {
+      if (sssp_ref[vid] < 0) {
+        if (value != "inf") return false;
+      } else if (std::abs(std::stod(value) - sssp_ref[vid]) > 1e-9) {
+        return false;
+      }
+    }
+    return out.size() == sssp_ref.size();
+  }));
+  threads.push_back(run([&]() {
+    PregelixRuntime runtime(&cluster, &dfs);
+    PageRankProgram program(5);
+    PageRankProgram::Adapter adapter(&program);
+    PregelixJobConfig job;
+    job.name = "conc-pr";
+    job.input_dir = "g2";
+    job.output_dir = "conc-pr-out";
+    JobResult result;
+    if (!runtime.Run(&adapter, job, &result).ok()) return false;
+    std::map<int64_t, std::string> out;
+    if (!parse("conc-pr-out", &out)) return false;
+    for (auto& [vid, value] : out) {
+      if (std::abs(std::stod(value) - pr_ref[vid]) > 1e-9) return false;
+    }
+    return out.size() == pr_ref.size();
+  }));
+  threads.push_back(run([&]() {
+    PregelixRuntime runtime(&cluster, &dfs);
+    ConnectedComponentsProgram program;
+    ConnectedComponentsProgram::Adapter adapter(&program);
+    PregelixJobConfig job;
+    job.name = "conc-cc";
+    job.input_dir = "g1";
+    job.output_dir = "conc-cc-out";
+    job.storage = VertexStorage::kLsmBTree;
+    JobResult result;
+    if (!runtime.Run(&adapter, job, &result).ok()) return false;
+    std::map<int64_t, std::string> out;
+    if (!parse("conc-cc-out", &out)) return false;
+    for (auto& [vid, value] : out) {
+      if (std::stoll(value) != cc_ref[vid]) return false;
+    }
+    return out.size() == cc_ref.size();
+  }));
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// Generator property sweep: (vertices, degree) grid.
+using GenParam = std::tuple<int, double>;
+
+class GeneratorSweepTest : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorSweepTest, BtcLikePropertiesHold) {
+  const auto [vertices, degree] = GetParam();
+  TempDir dir("gen-sweep");
+  DistributedFileSystem dfs(dir.Sub("dfs"));
+  GraphStats stats;
+  ASSERT_TRUE(
+      GenerateBtcLike(dfs, "g", 2, vertices, degree, 99, &stats).ok());
+  EXPECT_EQ(stats.num_vertices, vertices);
+  EXPECT_NEAR(stats.avg_degree(), degree, degree * 0.15 + 0.6);
+  InMemoryGraph graph;
+  ASSERT_TRUE(LoadGraph(dfs, "g", &graph).ok());
+  // Symmetric and connected (ring backbone).
+  const std::vector<int64_t> cc = CcRef(graph);
+  for (int64_t label : cc) EXPECT_EQ(label, 0);
+}
+
+TEST_P(GeneratorSweepTest, WebmapLikePropertiesHold) {
+  const auto [vertices, degree] = GetParam();
+  TempDir dir("gen-sweep-web");
+  DistributedFileSystem dfs(dir.Sub("dfs"));
+  GraphStats stats;
+  ASSERT_TRUE(
+      GenerateWebmapLike(dfs, "g", 2, vertices, degree, 99, &stats).ok());
+  EXPECT_EQ(stats.num_vertices, vertices);
+  EXPECT_NEAR(stats.avg_degree(), degree, degree * 0.2 + 0.5);
+  InMemoryGraph graph;
+  ASSERT_TRUE(LoadGraph(dfs, "g", &graph).ok());
+  // All edge targets in range.
+  for (int64_t v = 0; v < graph.num_vertices(); ++v) {
+    for (int64_t d : graph.adj[v]) {
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, vertices);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GeneratorSweepTest,
+                         ::testing::Values(GenParam{100, 4.0},
+                                           GenParam{1000, 8.94},
+                                           GenParam{5000, 6.0},
+                                           GenParam{500, 12.0}));
+
+}  // namespace
+}  // namespace pregelix

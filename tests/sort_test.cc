@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/temp_dir.h"
+#include "dataflow/ops/sort.h"
+
+namespace pregelix {
+namespace {
+
+/// min-combiner over 8-byte little-endian doubles, as SSSP uses.
+GroupCombiner MinDoubleCombiner() {
+  GroupCombiner c;
+  c.init = [](const Slice& payload, std::string* acc) {
+    acc->assign(payload.data(), payload.size());
+  };
+  c.step = [](const Slice& payload, std::string* acc) {
+    const double incoming = DecodeDouble(payload.data());
+    const double current = DecodeDouble(acc->data());
+    if (incoming < current) acc->assign(payload.data(), payload.size());
+  };
+  return c;
+}
+
+/// Concatenating list combiner (the default "gather" combine). Payloads
+/// must already be length-prefixed item sequences so that accumulators and
+/// payloads share one representation and combining stays associative across
+/// spilled runs (a partially combined run entry is just a longer sequence).
+GroupCombiner ListCombiner() {
+  GroupCombiner c;
+  c.init = [](const Slice& payload, std::string* acc) {
+    acc->assign(payload.data(), payload.size());
+  };
+  c.step = [](const Slice& payload, std::string* acc) {
+    acc->append(payload.data(), payload.size());
+  };
+  return c;
+}
+
+/// Wraps one message as a single-item sequence for ListCombiner.
+std::string ListItem(const std::string& message) {
+  std::string out;
+  PutLengthPrefixed(&out, message);
+  return out;
+}
+
+class SortTest : public ::testing::Test {
+ protected:
+  SortConfig MakeConfig(size_t budget) {
+    SortConfig config;
+    config.field_count = 2;
+    config.key_field = 0;
+    config.memory_budget_bytes = budget;
+    config.frame_size = 1024;
+    config.scratch_prefix = dir_.path() + "/sort";
+    config.metrics = &metrics_;
+    return config;
+  }
+
+  TempDir dir_{"sort-test"};
+  WorkerMetrics metrics_;
+};
+
+TEST_F(SortTest, InMemorySortNoCombiner) {
+  ExternalSortGrouper sorter(MakeConfig(1 << 20));
+  Random rnd(5);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(static_cast<int64_t>(rnd.Uniform(10000)));
+    const std::string k = OrderedKeyI64(keys.back());
+    const std::string v = "v" + std::to_string(keys.back());
+    const Slice t[2] = {Slice(k), Slice(v)};
+    ASSERT_TRUE(sorter.Add(t).ok());
+  }
+  EXPECT_EQ(sorter.runs_spilled(), 0);
+  std::sort(keys.begin(), keys.end());
+  size_t i = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](std::span<const Slice> fields) {
+                    EXPECT_EQ(DecodeOrderedI64(fields[0].data()), keys[i]);
+                    ++i;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST_F(SortTest, SpillingSortKeepsAllTuplesSorted) {
+  // 4 KB budget forces many spilled runs.
+  ExternalSortGrouper sorter(MakeConfig(4 * 1024));
+  Random rnd(6);
+  std::multiset<int64_t> expected;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key = static_cast<int64_t>(rnd.Uniform(500));
+    expected.insert(key);
+    const std::string k = OrderedKeyI64(key);
+    const Slice t[2] = {Slice(k), Slice("payload")};
+    ASSERT_TRUE(sorter.Add(t).ok());
+  }
+  EXPECT_GT(sorter.runs_spilled(), 1);
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(sorter
+                  .Finish([&](std::span<const Slice> fields) {
+                    seen.push_back(DecodeOrderedI64(fields[0].data()));
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  std::vector<int64_t> expected_vec(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected_vec);
+}
+
+TEST_F(SortTest, MultiPassMergeBeyondFanin) {
+  SortConfig config = MakeConfig(512);
+  config.merge_fanin = 3;  // force multiple merge passes
+  ExternalSortGrouper sorter(config);
+  const int n = 3000;
+  for (int i = n - 1; i >= 0; --i) {
+    const std::string k = OrderedKeyI64(i);
+    const Slice t[2] = {Slice(k), Slice("x")};
+    ASSERT_TRUE(sorter.Add(t).ok());
+  }
+  EXPECT_GT(sorter.runs_spilled(), 3);
+  int64_t next = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](std::span<const Slice> fields) {
+                    EXPECT_EQ(DecodeOrderedI64(fields[0].data()), next);
+                    ++next;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(next, n);
+}
+
+TEST_F(SortTest, SortGroupByCombinesDuplicates) {
+  ExternalSortGrouper grouper(MakeConfig(1 << 20), MinDoubleCombiner());
+  // Messages to 100 destinations, 10 each; min payload should win.
+  std::map<int64_t, double> expected;
+  Random rnd(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t dest = static_cast<int64_t>(rnd.Uniform(100));
+    const double dist = rnd.NextDouble() * 100;
+    auto it = expected.find(dest);
+    if (it == expected.end() || dist < it->second) expected[dest] = dist;
+    const std::string k = OrderedKeyI64(dest);
+    std::string payload;
+    PutDouble(&payload, dist);
+    const Slice t[2] = {Slice(k), Slice(payload)};
+    ASSERT_TRUE(grouper.Add(t).ok());
+  }
+  std::map<int64_t, double> got;
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    got[DecodeOrderedI64(fields[0].data())] =
+                        DecodeDouble(fields[1].data());
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [dest, dist] : expected) {
+    EXPECT_DOUBLE_EQ(got[dest], dist);
+  }
+}
+
+TEST_F(SortTest, SortGroupByCombinesAcrossSpilledRuns) {
+  ExternalSortGrouper grouper(MakeConfig(2048), MinDoubleCombiner());
+  std::map<int64_t, double> expected;
+  Random rnd(8);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t dest = static_cast<int64_t>(rnd.Uniform(50));
+    const double dist = rnd.NextDouble() * 100;
+    auto it = expected.find(dest);
+    if (it == expected.end() || dist < it->second) expected[dest] = dist;
+    const std::string k = OrderedKeyI64(dest);
+    std::string payload;
+    PutDouble(&payload, dist);
+    const Slice t[2] = {Slice(k), Slice(payload)};
+    ASSERT_TRUE(grouper.Add(t).ok());
+  }
+  EXPECT_GT(grouper.runs_spilled(), 1);
+  int groups = 0;
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    const int64_t dest = DecodeOrderedI64(fields[0].data());
+                    EXPECT_DOUBLE_EQ(DecodeDouble(fields[1].data()),
+                                     expected[dest]);
+                    ++groups;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(groups, 50);
+}
+
+TEST_F(SortTest, HashSortGroupByMatchesSortGroupBy) {
+  HashSortGrouper hash_grouper(MakeConfig(1 << 20), MinDoubleCombiner());
+  ExternalSortGrouper sort_grouper(MakeConfig(1 << 20), MinDoubleCombiner());
+  Random rnd(9);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t dest = static_cast<int64_t>(rnd.Uniform(64));
+    const double dist = rnd.NextDouble();
+    const std::string k = OrderedKeyI64(dest);
+    std::string payload;
+    PutDouble(&payload, dist);
+    const Slice t[2] = {Slice(k), Slice(payload)};
+    ASSERT_TRUE(hash_grouper.Add(t).ok());
+    ASSERT_TRUE(sort_grouper.Add(t).ok());
+  }
+  std::map<int64_t, double> hash_result, sort_result;
+  ASSERT_TRUE(hash_grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    hash_result[DecodeOrderedI64(fields[0].data())] =
+                        DecodeDouble(fields[1].data());
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_TRUE(sort_grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    sort_result[DecodeOrderedI64(fields[0].data())] =
+                        DecodeDouble(fields[1].data());
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(hash_result, sort_result);
+}
+
+TEST_F(SortTest, HashSortSpillsAndStillCombines) {
+  HashSortGrouper grouper(MakeConfig(2048), MinDoubleCombiner());
+  std::map<int64_t, double> expected;
+  Random rnd(10);
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t dest = static_cast<int64_t>(rnd.Uniform(200));
+    const double dist = rnd.NextDouble();
+    auto it = expected.find(dest);
+    if (it == expected.end() || dist < it->second) expected[dest] = dist;
+    const std::string k = OrderedKeyI64(dest);
+    std::string payload;
+    PutDouble(&payload, dist);
+    const Slice t[2] = {Slice(k), Slice(payload)};
+    ASSERT_TRUE(grouper.Add(t).ok());
+  }
+  EXPECT_GT(grouper.runs_spilled(), 0);
+  int64_t prev = INT64_MIN;
+  int groups = 0;
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    const int64_t dest = DecodeOrderedI64(fields[0].data());
+                    EXPECT_GT(dest, prev);  // sorted, distinct
+                    prev = dest;
+                    EXPECT_DOUBLE_EQ(DecodeDouble(fields[1].data()),
+                                     expected[dest]);
+                    ++groups;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(groups, static_cast<int>(expected.size()));
+}
+
+TEST_F(SortTest, PreclusteredGrouperStreams) {
+  PreclusteredGrouper grouper(ListCombiner(), &metrics_);
+  std::vector<std::pair<int64_t, std::string>> got;
+  auto emit = [&](std::span<const Slice> fields) {
+    got.emplace_back(DecodeOrderedI64(fields[0].data()),
+                     fields[1].ToString());
+    return Status::OK();
+  };
+  // Sorted input: keys 1,1,2,3,3,3.
+  for (const auto& [key, payload] :
+       std::vector<std::pair<int64_t, std::string>>{
+           {1, "a"}, {1, "b"}, {2, "c"}, {3, "d"}, {3, "e"}, {3, "f"}}) {
+    const std::string k = OrderedKeyI64(key);
+    ASSERT_TRUE(grouper.Add(k, ListItem(payload), emit).ok());
+  }
+  ASSERT_TRUE(grouper.Finish(emit).ok());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, 1);
+  EXPECT_EQ(got[1].first, 2);
+  EXPECT_EQ(got[2].first, 3);
+  // Group 3 gathered three payloads.
+  Slice acc(got[2].second);
+  Slice item;
+  int count = 0;
+  while (GetLengthPrefixed(&acc, &item)) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(SortTest, ListCombinerGathersAllMessages) {
+  ExternalSortGrouper grouper(MakeConfig(4096), ListCombiner());
+  const int dests = 10, per_dest = 37;
+  for (int m = 0; m < per_dest; ++m) {
+    for (int64_t d = 0; d < dests; ++d) {
+      const std::string k = OrderedKeyI64(d);
+      const std::string payload = ListItem("m" + std::to_string(m));
+      const Slice t[2] = {Slice(k), Slice(payload)};
+      ASSERT_TRUE(grouper.Add(t).ok());
+    }
+  }
+  int total_messages = 0, groups = 0;
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    Slice acc = fields[1];
+                    Slice item;
+                    while (GetLengthPrefixed(&acc, &item)) ++total_messages;
+                    ++groups;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(groups, dests);
+  EXPECT_EQ(total_messages, dests * per_dest);
+}
+
+TEST_F(SortTest, EmptyInputProducesNothing) {
+  ExternalSortGrouper sorter(MakeConfig(1024));
+  int count = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](std::span<const Slice>) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0);
+
+  HashSortGrouper grouper(MakeConfig(1024), MinDoubleCombiner());
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice>) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace pregelix

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pregel/serde.h"
+#include "pregel/typed.h"
+#include "pregel/vertex_format.h"
+
+namespace pregelix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serde
+
+TEST(SerdeTypedTest, PodRoundTrips) {
+  EXPECT_EQ(SerializeValue<double>(3.25).size(), 8u);
+  double d = 0;
+  ASSERT_TRUE(DeserializeValue(Slice(SerializeValue(3.25)), &d));
+  EXPECT_EQ(d, 3.25);
+
+  int64_t i = 0;
+  ASSERT_TRUE(DeserializeValue(Slice(SerializeValue<int64_t>(-17)), &i));
+  EXPECT_EQ(i, -17);
+
+  uint8_t b = 0;
+  ASSERT_TRUE(DeserializeValue(Slice(SerializeValue<uint8_t>(200)), &b));
+  EXPECT_EQ(b, 200);
+}
+
+TEST(SerdeTypedTest, StringAndVectorRoundTrips) {
+  std::string s;
+  ASSERT_TRUE(
+      DeserializeValue(Slice(SerializeValue<std::string>("hello")), &s));
+  EXPECT_EQ(s, "hello");
+
+  std::vector<int64_t> v;
+  ASSERT_TRUE(DeserializeValue(
+      Slice(SerializeValue(std::vector<int64_t>{1, -2, 3})), &v));
+  EXPECT_EQ(v, (std::vector<int64_t>{1, -2, 3}));
+
+  std::vector<std::string> vs;
+  ASSERT_TRUE(DeserializeValue(
+      Slice(SerializeValue(std::vector<std::string>{"a", "", "ccc"})), &vs));
+  EXPECT_EQ(vs, (std::vector<std::string>{"a", "", "ccc"}));
+}
+
+TEST(SerdeTypedTest, PairAndEmpty) {
+  std::pair<int64_t, int64_t> p;
+  ASSERT_TRUE(DeserializeValue(
+      Slice(SerializeValue(std::pair<int64_t, int64_t>(7, -9))), &p));
+  EXPECT_EQ(p.first, 7);
+  EXPECT_EQ(p.second, -9);
+  EXPECT_TRUE(SerializeValue(Empty{}).empty());
+}
+
+TEST(SerdeTypedTest, TruncatedInputFails) {
+  std::string buf = SerializeValue<double>(1.0);
+  buf.resize(4);
+  double d;
+  EXPECT_FALSE(DeserializeValue(Slice(buf), &d));
+  std::vector<int64_t> v;
+  std::string vec = SerializeValue(std::vector<int64_t>{1, 2, 3});
+  vec.resize(vec.size() - 3);
+  EXPECT_FALSE(DeserializeValue(Slice(vec), &v));
+}
+
+// ---------------------------------------------------------------------------
+// Vertex record format
+
+TEST(VertexFormatTest, RoundTrip) {
+  std::string record;
+  EncodeVertexRecord(true, Slice("VALUE"),
+                     {{7, "e7"}, {9, ""}, {-3, "edge"}}, &record);
+  VertexRecordView view;
+  ASSERT_TRUE(view.Parse(Slice(record)).ok());
+  EXPECT_TRUE(view.halt);
+  EXPECT_EQ(view.value.ToString(), "VALUE");
+  ASSERT_EQ(view.edges.size(), 3u);
+  EXPECT_EQ(view.edges[0].dst, 7);
+  EXPECT_EQ(view.edges[0].value.ToString(), "e7");
+  EXPECT_EQ(view.edges[1].value.ToString(), "");
+  EXPECT_EQ(view.edges[2].dst, -3);
+  EXPECT_EQ(VertexEdgeCount(Slice(record)), 3);
+  EXPECT_TRUE(VertexHalt(Slice(record)));
+}
+
+TEST(VertexFormatTest, HaltFlipInPlace) {
+  std::string record;
+  EncodeVertexRecord(false, Slice("v"), {{1, "x"}}, &record);
+  EXPECT_FALSE(VertexHalt(Slice(record)));
+  SetVertexHalt(&record, true);
+  EXPECT_TRUE(VertexHalt(Slice(record)));
+  VertexRecordView view;
+  ASSERT_TRUE(view.Parse(Slice(record)).ok());
+  EXPECT_EQ(view.value.ToString(), "v");  // rest untouched
+}
+
+TEST(VertexFormatTest, CorruptionDetected) {
+  VertexRecordView view;
+  EXPECT_FALSE(view.Parse(Slice("ab")).ok());
+  std::string record;
+  EncodeVertexRecord(false, Slice("value"), {{1, "edge"}}, &record);
+  record.resize(record.size() - 2);
+  EXPECT_FALSE(view.Parse(Slice(record)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MessageIterator
+
+TEST(MessageIteratorTest, CombinedSingleMessage) {
+  const std::string payload = SerializeValue<double>(4.5);
+  MessageIterator<double> it(Slice(payload), /*combined=*/true,
+                             /*has_messages=*/true);
+  ASSERT_TRUE(it.HasNext());
+  EXPECT_EQ(it.Next(), 4.5);
+  EXPECT_FALSE(it.HasNext());
+}
+
+TEST(MessageIteratorTest, ListOfMessages) {
+  std::string payload;
+  for (double d : {1.0, 2.0, 3.0}) {
+    std::string item = SerializeValue(d);
+    PutLengthPrefixed(&payload, Slice(item));
+  }
+  MessageIterator<double> it(Slice(payload), /*combined=*/false, true);
+  std::vector<double> got;
+  while (it.HasNext()) got.push_back(it.Next());
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(MessageIteratorTest, NoMessages) {
+  MessageIterator<double> it(Slice(), /*combined=*/true,
+                             /*has_messages=*/false);
+  EXPECT_FALSE(it.HasNext());
+  MessageIterator<Empty> it2(Slice(), /*combined=*/true, true);
+  EXPECT_TRUE(it2.HasNext());  // zero-byte combined Empty message
+  it2.Next();
+  EXPECT_FALSE(it2.HasNext());
+}
+
+// ---------------------------------------------------------------------------
+// TypedProgramAdapter end-to-end on one compute call
+
+class EchoProgram : public TypedVertexProgram<double, double, double> {
+ public:
+  using Adapter = TypedProgramAdapter<double, double, double>;
+
+  void Compute(VertexT& vertex, MessageIterator<double>& messages) override {
+    double sum = 0;
+    while (messages.HasNext()) sum += messages.Next();
+    vertex.set_value(vertex.value() + sum);
+    for (const EdgeT& e : vertex.edges()) {
+      vertex.SendMessage(e.dst, vertex.value() + e.value);
+    }
+    vertex.Contribute(sum);
+    if (vertex.superstep() >= 3) vertex.VoteToHalt();
+  }
+
+  bool has_combiner() const override { return true; }
+  void Combine(double* acc, const double& m) const override { *acc += m; }
+  GlobalAggHooks AggregatorHooks() const override {
+    return MakeGlobalAgg<double>(0.0, [](double a, double b) { return a + b; });
+  }
+  std::string FormatValue(int64_t, const double& v) const override {
+    return FormatDouble(v);
+  }
+};
+
+TEST(TypedAdapterTest, ComputeRoundTrip) {
+  EchoProgram program;
+  EchoProgram::Adapter adapter(&program);
+
+  std::string record;
+  ASSERT_TRUE(adapter.InitialVertex(5, {10, 20}, &record).ok());
+
+  ComputeInput input;
+  input.vid = 5;
+  input.vertex_exists = true;
+  input.vertex_bytes = Slice(record);
+  input.has_messages = true;
+  const std::string payload = SerializeValue<double>(2.5);
+  input.message_payload = Slice(payload);
+  input.superstep = 1;
+  ComputeOutput output;
+  ASSERT_TRUE(adapter.Compute(input, &output).ok());
+
+  EXPECT_TRUE(output.vertex_dirty);
+  EXPECT_FALSE(output.voted_halt);
+  ASSERT_EQ(output.messages.size(), 2u);
+  EXPECT_EQ(output.messages[0].first, 10);
+  double sent = 0;
+  ASSERT_TRUE(DeserializeValue(Slice(output.messages[0].second), &sent));
+  EXPECT_EQ(sent, 2.5);  // value (0 + 2.5) + edge value (0)
+  EXPECT_TRUE(output.has_aggregate);
+  double contributed = 0;
+  ASSERT_TRUE(
+      DeserializeValue(Slice(output.aggregate_contribution), &contributed));
+  EXPECT_EQ(contributed, 2.5);
+
+  // Superstep 3 vote-to-halt propagates.
+  input.superstep = 3;
+  input.vertex_bytes = Slice(output.vertex_bytes);
+  ASSERT_TRUE(adapter.Compute(input, &output).ok());
+  EXPECT_TRUE(output.voted_halt);
+}
+
+TEST(TypedAdapterTest, MissingVertexGetsDefault) {
+  EchoProgram program;
+  EchoProgram::Adapter adapter(&program);
+  ComputeInput input;
+  input.vid = 99;
+  input.vertex_exists = false;
+  input.has_messages = true;
+  const std::string payload = SerializeValue<double>(1.0);
+  input.message_payload = Slice(payload);
+  input.superstep = 2;
+  ComputeOutput output;
+  ASSERT_TRUE(adapter.Compute(input, &output).ok());
+  EXPECT_TRUE(output.vertex_dirty);  // created vertices must persist
+  VertexRecordView view;
+  ASSERT_TRUE(view.Parse(Slice(output.vertex_bytes)).ok());
+  double value = 0;
+  ASSERT_TRUE(DeserializeValue(view.value, &value));
+  EXPECT_EQ(value, 1.0);
+  EXPECT_TRUE(view.edges.empty());
+}
+
+TEST(TypedAdapterTest, UnchangedVertexIsNotDirty) {
+  EchoProgram program;
+  EchoProgram::Adapter adapter(&program);
+  std::string record;
+  ASSERT_TRUE(adapter.InitialVertex(1, {}, &record).ok());
+  // No messages, superstep 1: value += 0, re-encoded identically.
+  ComputeInput input;
+  input.vid = 1;
+  input.vertex_exists = true;
+  input.vertex_bytes = Slice(record);
+  input.has_messages = false;
+  input.superstep = 1;
+  ComputeOutput output;
+  ASSERT_TRUE(adapter.Compute(input, &output).ok());
+  EXPECT_FALSE(output.vertex_dirty);  // identical bytes: no churn
+}
+
+TEST(TypedAdapterTest, CombinerHooksFold) {
+  EchoProgram program;
+  EchoProgram::Adapter adapter(&program);
+  GroupCombiner combiner = adapter.MsgCombiner();
+  ASSERT_TRUE(combiner.valid());
+  std::string acc;
+  combiner.init(Slice(SerializeValue<double>(1.5)), &acc);
+  combiner.step(Slice(SerializeValue<double>(2.0)), &acc);
+  combiner.step(Slice(SerializeValue<double>(-0.5)), &acc);
+  double result = 0;
+  ASSERT_TRUE(DeserializeValue(Slice(acc), &result));
+  EXPECT_EQ(result, 3.0);
+}
+
+TEST(TypedAdapterTest, FormatVertexPrefixesVid) {
+  EchoProgram program;
+  EchoProgram::Adapter adapter(&program);
+  std::string record;
+  ASSERT_TRUE(adapter.InitialVertex(42, {}, &record).ok());
+  std::string line;
+  ASSERT_TRUE(adapter.FormatVertex(42, Slice(record), &line).ok());
+  EXPECT_EQ(line.rfind("42 ", 0), 0u);
+}
+
+TEST(TypedAdapterTest, MutationsFlowThrough) {
+  class MutateOnce : public TypedVertexProgram<int64_t, Empty, int64_t> {
+   public:
+    void Compute(VertexT& vertex, MessageIterator<int64_t>&) override {
+      vertex.AddVertex(100, 7);
+      vertex.RemoveVertex(200);
+      vertex.VoteToHalt();
+    }
+    std::string FormatValue(int64_t, const int64_t& v) const override {
+      return std::to_string(v);
+    }
+  };
+  MutateOnce program;
+  TypedProgramAdapter<int64_t, Empty, int64_t> adapter(&program);
+  std::string record;
+  ASSERT_TRUE(adapter.InitialVertex(1, {}, &record).ok());
+  ComputeInput input;
+  input.vid = 1;
+  input.vertex_exists = true;
+  input.vertex_bytes = Slice(record);
+  input.superstep = 1;
+  ComputeOutput output;
+  ASSERT_TRUE(adapter.Compute(input, &output).ok());
+  ASSERT_EQ(output.mutations.size(), 2u);
+  EXPECT_EQ(output.mutations[0].op, MutationRecord::Op::kAddVertex);
+  EXPECT_EQ(output.mutations[0].vid, 100);
+  VertexRecordView view;
+  ASSERT_TRUE(view.Parse(Slice(output.mutations[0].vertex_bytes)).ok());
+  EXPECT_FALSE(view.halt);  // added vertices start active
+  EXPECT_EQ(output.mutations[1].op, MutationRecord::Op::kRemoveVertex);
+  EXPECT_EQ(output.mutations[1].vid, 200);
+}
+
+}  // namespace
+}  // namespace pregelix
