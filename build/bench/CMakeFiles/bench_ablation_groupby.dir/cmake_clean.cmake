@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_groupby.dir/bench_ablation_groupby.cc.o"
+  "CMakeFiles/bench_ablation_groupby.dir/bench_ablation_groupby.cc.o.d"
+  "bench_ablation_groupby"
+  "bench_ablation_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

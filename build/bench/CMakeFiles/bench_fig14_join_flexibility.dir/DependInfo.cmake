@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_join_flexibility.cc" "bench/CMakeFiles/bench_fig14_join_flexibility.dir/bench_fig14_join_flexibility.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_join_flexibility.dir/bench_fig14_join_flexibility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pregelix_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pregelix_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/pregel/CMakeFiles/pregelix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pregelix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/pregelix_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/pregelix_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pregelix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/pregelix_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pregelix_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pregelix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

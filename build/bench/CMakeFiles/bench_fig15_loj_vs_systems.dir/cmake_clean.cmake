@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_loj_vs_systems.dir/bench_fig15_loj_vs_systems.cc.o"
+  "CMakeFiles/bench_fig15_loj_vs_systems.dir/bench_fig15_loj_vs_systems.cc.o.d"
+  "bench_fig15_loj_vs_systems"
+  "bench_fig15_loj_vs_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_loj_vs_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

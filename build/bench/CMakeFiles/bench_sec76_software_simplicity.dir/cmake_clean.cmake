@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec76_software_simplicity.dir/bench_sec76_software_simplicity.cc.o"
+  "CMakeFiles/bench_sec76_software_simplicity.dir/bench_sec76_software_simplicity.cc.o.d"
+  "bench_sec76_software_simplicity"
+  "bench_sec76_software_simplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec76_software_simplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

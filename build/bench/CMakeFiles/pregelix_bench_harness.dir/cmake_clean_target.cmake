@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpregelix_bench_harness.a"
+)

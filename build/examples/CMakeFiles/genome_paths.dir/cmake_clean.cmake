@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_paths.dir/genome_paths.cpp.o"
+  "CMakeFiles/genome_paths.dir/genome_paths.cpp.o.d"
+  "genome_paths"
+  "genome_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

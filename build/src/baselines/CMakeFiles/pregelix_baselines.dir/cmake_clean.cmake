@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_baselines.dir/process_centric.cc.o"
+  "CMakeFiles/pregelix_baselines.dir/process_centric.cc.o.d"
+  "libpregelix_baselines.a"
+  "libpregelix_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

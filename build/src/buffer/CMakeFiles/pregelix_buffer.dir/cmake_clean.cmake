@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_buffer.dir/buffer_cache.cc.o"
+  "CMakeFiles/pregelix_buffer.dir/buffer_cache.cc.o.d"
+  "libpregelix_buffer.a"
+  "libpregelix_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_common.dir/logging.cc.o"
+  "CMakeFiles/pregelix_common.dir/logging.cc.o.d"
+  "CMakeFiles/pregelix_common.dir/metrics.cc.o"
+  "CMakeFiles/pregelix_common.dir/metrics.cc.o.d"
+  "CMakeFiles/pregelix_common.dir/random.cc.o"
+  "CMakeFiles/pregelix_common.dir/random.cc.o.d"
+  "CMakeFiles/pregelix_common.dir/status.cc.o"
+  "CMakeFiles/pregelix_common.dir/status.cc.o.d"
+  "CMakeFiles/pregelix_common.dir/temp_dir.cc.o"
+  "CMakeFiles/pregelix_common.dir/temp_dir.cc.o.d"
+  "libpregelix_common.a"
+  "libpregelix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/channel.cc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/channel.cc.o" "gcc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/channel.cc.o.d"
+  "/root/repo/src/dataflow/cluster.cc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/cluster.cc.o" "gcc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/cluster.cc.o.d"
+  "/root/repo/src/dataflow/executor.cc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/executor.cc.o" "gcc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/executor.cc.o.d"
+  "/root/repo/src/dataflow/frame.cc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/frame.cc.o" "gcc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/frame.cc.o.d"
+  "/root/repo/src/dataflow/ops/sort.cc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/ops/sort.cc.o" "gcc" "src/dataflow/CMakeFiles/pregelix_dataflow.dir/ops/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pregelix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pregelix_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/pregelix_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

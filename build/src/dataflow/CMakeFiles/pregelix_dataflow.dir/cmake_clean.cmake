@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_dataflow.dir/channel.cc.o"
+  "CMakeFiles/pregelix_dataflow.dir/channel.cc.o.d"
+  "CMakeFiles/pregelix_dataflow.dir/cluster.cc.o"
+  "CMakeFiles/pregelix_dataflow.dir/cluster.cc.o.d"
+  "CMakeFiles/pregelix_dataflow.dir/executor.cc.o"
+  "CMakeFiles/pregelix_dataflow.dir/executor.cc.o.d"
+  "CMakeFiles/pregelix_dataflow.dir/frame.cc.o"
+  "CMakeFiles/pregelix_dataflow.dir/frame.cc.o.d"
+  "CMakeFiles/pregelix_dataflow.dir/ops/sort.cc.o"
+  "CMakeFiles/pregelix_dataflow.dir/ops/sort.cc.o.d"
+  "libpregelix_dataflow.a"
+  "libpregelix_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

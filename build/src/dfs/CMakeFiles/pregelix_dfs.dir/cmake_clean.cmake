@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_dfs.dir/dfs.cc.o"
+  "CMakeFiles/pregelix_dfs.dir/dfs.cc.o.d"
+  "libpregelix_dfs.a"
+  "libpregelix_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

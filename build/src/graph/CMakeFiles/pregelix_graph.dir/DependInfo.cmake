@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/pregelix_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/pregelix_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/ref_algos.cc" "src/graph/CMakeFiles/pregelix_graph.dir/ref_algos.cc.o" "gcc" "src/graph/CMakeFiles/pregelix_graph.dir/ref_algos.cc.o.d"
+  "/root/repo/src/graph/sampler.cc" "src/graph/CMakeFiles/pregelix_graph.dir/sampler.cc.o" "gcc" "src/graph/CMakeFiles/pregelix_graph.dir/sampler.cc.o.d"
+  "/root/repo/src/graph/text_io.cc" "src/graph/CMakeFiles/pregelix_graph.dir/text_io.cc.o" "gcc" "src/graph/CMakeFiles/pregelix_graph.dir/text_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pregelix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/pregelix_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pregelix_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

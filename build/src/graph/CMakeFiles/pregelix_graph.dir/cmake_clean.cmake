@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_graph.dir/generator.cc.o"
+  "CMakeFiles/pregelix_graph.dir/generator.cc.o.d"
+  "CMakeFiles/pregelix_graph.dir/ref_algos.cc.o"
+  "CMakeFiles/pregelix_graph.dir/ref_algos.cc.o.d"
+  "CMakeFiles/pregelix_graph.dir/sampler.cc.o"
+  "CMakeFiles/pregelix_graph.dir/sampler.cc.o.d"
+  "CMakeFiles/pregelix_graph.dir/text_io.cc.o"
+  "CMakeFiles/pregelix_graph.dir/text_io.cc.o.d"
+  "libpregelix_graph.a"
+  "libpregelix_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_io.dir/file.cc.o"
+  "CMakeFiles/pregelix_io.dir/file.cc.o.d"
+  "CMakeFiles/pregelix_io.dir/run_file.cc.o"
+  "CMakeFiles/pregelix_io.dir/run_file.cc.o.d"
+  "libpregelix_io.a"
+  "libpregelix_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpregelix_io.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pregel/plans.cc" "src/pregel/CMakeFiles/pregelix_core.dir/plans.cc.o" "gcc" "src/pregel/CMakeFiles/pregelix_core.dir/plans.cc.o.d"
+  "/root/repo/src/pregel/program.cc" "src/pregel/CMakeFiles/pregelix_core.dir/program.cc.o" "gcc" "src/pregel/CMakeFiles/pregelix_core.dir/program.cc.o.d"
+  "/root/repo/src/pregel/runtime.cc" "src/pregel/CMakeFiles/pregelix_core.dir/runtime.cc.o" "gcc" "src/pregel/CMakeFiles/pregelix_core.dir/runtime.cc.o.d"
+  "/root/repo/src/pregel/state.cc" "src/pregel/CMakeFiles/pregelix_core.dir/state.cc.o" "gcc" "src/pregel/CMakeFiles/pregelix_core.dir/state.cc.o.d"
+  "/root/repo/src/pregel/vertex_format.cc" "src/pregel/CMakeFiles/pregelix_core.dir/vertex_format.cc.o" "gcc" "src/pregel/CMakeFiles/pregelix_core.dir/vertex_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pregelix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pregelix_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/pregelix_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pregelix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/pregelix_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/pregelix_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pregelix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_core.dir/plans.cc.o"
+  "CMakeFiles/pregelix_core.dir/plans.cc.o.d"
+  "CMakeFiles/pregelix_core.dir/program.cc.o"
+  "CMakeFiles/pregelix_core.dir/program.cc.o.d"
+  "CMakeFiles/pregelix_core.dir/runtime.cc.o"
+  "CMakeFiles/pregelix_core.dir/runtime.cc.o.d"
+  "CMakeFiles/pregelix_core.dir/state.cc.o"
+  "CMakeFiles/pregelix_core.dir/state.cc.o.d"
+  "CMakeFiles/pregelix_core.dir/vertex_format.cc.o"
+  "CMakeFiles/pregelix_core.dir/vertex_format.cc.o.d"
+  "libpregelix_core.a"
+  "libpregelix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

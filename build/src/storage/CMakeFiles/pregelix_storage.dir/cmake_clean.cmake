@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_storage.dir/btree.cc.o"
+  "CMakeFiles/pregelix_storage.dir/btree.cc.o.d"
+  "CMakeFiles/pregelix_storage.dir/lsm_btree.cc.o"
+  "CMakeFiles/pregelix_storage.dir/lsm_btree.cc.o.d"
+  "libpregelix_storage.a"
+  "libpregelix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

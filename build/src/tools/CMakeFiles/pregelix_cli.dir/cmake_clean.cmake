@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregelix_cli.dir/pregelix_cli.cc.o"
+  "CMakeFiles/pregelix_cli.dir/pregelix_cli.cc.o.d"
+  "pregelix"
+  "pregelix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregelix_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_btree_test.dir/lsm_btree_test.cc.o"
+  "CMakeFiles/lsm_btree_test.dir/lsm_btree_test.cc.o.d"
+  "lsm_btree_test"
+  "lsm_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_matrix_test.dir/plan_matrix_test.cc.o"
+  "CMakeFiles/plan_matrix_test.dir/plan_matrix_test.cc.o.d"
+  "plan_matrix_test"
+  "plan_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

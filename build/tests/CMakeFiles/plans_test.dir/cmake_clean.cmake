@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plans_test.dir/plans_test.cc.o"
+  "CMakeFiles/plans_test.dir/plans_test.cc.o.d"
+  "plans_test"
+  "plans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

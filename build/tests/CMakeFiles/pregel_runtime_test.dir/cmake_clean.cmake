@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_runtime_test.dir/pregel_runtime_test.cc.o"
+  "CMakeFiles/pregel_runtime_test.dir/pregel_runtime_test.cc.o.d"
+  "pregel_runtime_test"
+  "pregel_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
