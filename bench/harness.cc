@@ -1,10 +1,12 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "algorithms/algorithms.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "dataflow/cluster.h"
 #include "graph/sampler.h"
 
@@ -149,6 +151,17 @@ Outcome RunPregelix(Env& env, const Dataset& dataset, Algorithm algorithm,
   outcome.total_seconds = result.total_sim_seconds;
   outcome.avg_iteration_seconds = result.avg_iteration_sim_seconds;
   outcome.wall_seconds = result.wall_seconds;
+
+  // PREGELIX_METRICS_JSON=<file>: dump the registry after every Pregelix run
+  // (runs share the process-wide registry, so the file accumulates the whole
+  // bench binary's counters; the last write wins and is cumulative).
+  if (const char* path = getenv("PREGELIX_METRICS_JSON")) {
+    cluster.PublishMetrics();
+    Status ms = cluster.registry()->ExportJson(path);
+    if (!ms.ok()) {
+      PLOG(Warn) << "metrics json write failed: " << ms.ToString();
+    }
+  }
   return outcome;
 }
 

@@ -161,6 +161,7 @@ Status BufferCache::WriteBackLocked(Slot& slot) {
       static_cast<uint64_t>(slot.page_id) * page_size_,
       Slice(slot.data.data(), page_size_)));
   slot.dirty = false;
+  writebacks_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -191,7 +192,7 @@ Status BufferCache::GetFreeSlotLocked(int* slot_out) {
   }
   page_table_.erase(Key(slot.file_id, slot.page_id));
   slot.valid = false;
-  ++evictions_;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   *slot_out = victim;
   return Status::OK();
 }
@@ -201,12 +202,12 @@ Status BufferCache::PinExistingOrLoadLocked(int file_id, PageId page,
   auto it = page_table_.find(Key(file_id, page));
   int slot_idx;
   if (it != page_table_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     slot_idx = it->second;
     TouchLocked(slot_idx);
     ++slots_[slot_idx].pin_count;
   } else {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     PREGELIX_RETURN_NOT_OK(GetFreeSlotLocked(&slot_idx));
     Slot& slot = slots_[slot_idx];
     slot.file_id = file_id;
@@ -300,6 +301,19 @@ void BufferCache::Unpin(int slot_idx, bool dirty) {
     slot.lru_pos = std::prev(lru_.end());
     slot.in_lru = true;
   }
+}
+
+void BufferCache::PublishMetrics(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const MetricLabels labels{{"worker", std::to_string(worker_)}};
+  registry->GetGauge("pregelix.buffer.hits", labels)
+      ->Set(static_cast<int64_t>(hit_count()));
+  registry->GetGauge("pregelix.buffer.misses", labels)
+      ->Set(static_cast<int64_t>(miss_count()));
+  registry->GetGauge("pregelix.buffer.evictions", labels)
+      ->Set(static_cast<int64_t>(eviction_count()));
+  registry->GetGauge("pregelix.buffer.writebacks", labels)
+      ->Set(static_cast<int64_t>(writeback_count()));
 }
 
 size_t BufferCache::pages_in_use() const {

@@ -1,6 +1,7 @@
 #ifndef PREGELIX_BUFFER_BUFFER_CACHE_H_
 #define PREGELIX_BUFFER_BUFFER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -10,7 +11,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "io/file.h"
 
 namespace pregelix {
@@ -74,6 +77,23 @@ class BufferCache {
   size_t capacity_pages() const { return capacity_pages_; }
   WorkerMetrics* metrics() const { return metrics_; }
 
+  /// Attaches observability sinks (a cache is per simulated worker, so the
+  /// worker id becomes the label). The access methods built on this cache
+  /// (B-tree, LSM) reach the tracer/registry through these accessors.
+  void SetObservability(Tracer* tracer, MetricsRegistry* registry,
+                        int worker) {
+    tracer_ = tracer;
+    registry_ = registry;
+    worker_ = worker;
+  }
+  Tracer* tracer() const { return tracer_; }
+  MetricsRegistry* registry() const { return registry_; }
+  int worker_id() const { return worker_; }
+
+  /// Publishes hit/miss/eviction/writeback counts into `registry` as
+  /// pregelix.buffer.* gauges labeled with this cache's worker id.
+  void PublishMetrics(MetricsRegistry* registry) const;
+
   /// Opens (or creates) a paged file; returns a cache-local file id.
   Status OpenFile(const std::string& path, int* file_id);
 
@@ -97,9 +117,20 @@ class BufferCache {
   Status FlushFile(int file_id);
 
   // --- introspection for tests and stats ---
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
-  uint64_t eviction_count() const { return evictions_; }
+  // Relaxed atomics: readable from a stats thread while a scan is in
+  // flight (they were plain uint64_t once, which was a data race).
+  uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t writeback_count() const {
+    return writebacks_.load(std::memory_order_relaxed);
+  }
   size_t pages_in_use() const;
 
  private:
@@ -142,15 +173,19 @@ class BufferCache {
   const size_t page_size_;
   const size_t capacity_pages_;
   WorkerMetrics* const metrics_;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
+  int worker_ = 0;
 
   mutable std::mutex mutex_;
   std::vector<Slot> slots_;
   std::list<int> lru_;  ///< unpinned slots, least-recently-used first
   std::unordered_map<uint64_t, int> page_table_;
   std::vector<FileEntry> files_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
 };
 
 }  // namespace pregelix

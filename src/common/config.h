@@ -7,6 +7,9 @@
 
 namespace pregelix {
 
+class Tracer;
+class MetricsRegistry;
+
 /// Configuration of the simulated shared-nothing cluster.
 ///
 /// One ClusterConfig describes a cluster of `num_workers` worker "machines",
@@ -34,6 +37,12 @@ struct ClusterConfig {
 
   std::string temp_root;  ///< scratch root; must be set by the caller
   uint64_t seed = 42;
+
+  /// Observability sinks. nullptr = use the process-wide Tracer::Global()
+  /// and MetricsRegistry::Global(); tests pass their own for isolation.
+  /// Spans cost nothing unless the tracer is enabled.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics_registry = nullptr;
 
   int num_partitions() const { return num_workers * partitions_per_worker; }
 

@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <mutex>
+#include <thread>
 
 namespace pregelix {
 
@@ -37,7 +41,22 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const int millis = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000);
+    std::tm tm_buf{};
+    localtime_r(&secs, &tm_buf);
+    char stamp[40];
+    snprintf(stamp, sizeof(stamp), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+             tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+             tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec, millis);
+    stream_ << "[" << LevelName(level) << " " << stamp << " tid "
+            << std::this_thread::get_id() << " " << base << ":" << line
+            << "] ";
   }
 }
 

@@ -67,7 +67,15 @@ struct Voidify {
     PREGELIX_CHECK(_st.ok()) << _st.ToString();                         \
   } while (0)
 
+/// Debug-only invariant assertions: compiled out under NDEBUG (the
+/// condition is type-checked but never evaluated, and the streamed
+/// expression is swallowed).
+#ifdef NDEBUG
+#define PREGELIX_DCHECK(cond) \
+  while (false) PREGELIX_CHECK(cond)
+#else
 #define PREGELIX_DCHECK(cond) PREGELIX_CHECK(cond)
+#endif
 
 }  // namespace pregelix
 

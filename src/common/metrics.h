@@ -67,11 +67,11 @@ class WorkerMetrics {
   }
 
   void Reset() {
-    cpu_ops_ = 0;
-    disk_read_bytes_ = 0;
-    disk_write_bytes_ = 0;
-    disk_seeks_ = 0;
-    net_bytes_ = 0;
+    cpu_ops_.store(0, std::memory_order_relaxed);
+    disk_read_bytes_.store(0, std::memory_order_relaxed);
+    disk_write_bytes_.store(0, std::memory_order_relaxed);
+    disk_seeks_.store(0, std::memory_order_relaxed);
+    net_bytes_.store(0, std::memory_order_relaxed);
   }
 
  private:

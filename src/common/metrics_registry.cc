@@ -1,0 +1,264 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace pregelix {
+
+namespace {
+
+/// Registry map key: name plus normalized labels, using separators that
+/// cannot appear in metric names.
+std::string EntryKey(const std::string& name, const MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels.kv) {
+    key.push_back('\x01');
+    key.append(k);
+    key.push_back('\x02');
+    key.append(v);
+  }
+  return key;
+}
+
+void AppendJsonEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void WriteLabels(std::ostream& os, const MetricLabels& labels) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels.kv) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    AppendJsonEscaped(os, k);
+    os << "\":\"";
+    AppendJsonEscaped(os, v);
+    os << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void MetricLabels::Normalize() {
+  std::stable_sort(kv.begin(), kv.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  // Last write wins for duplicate keys.
+  for (size_t i = 0; i + 1 < kv.size();) {
+    if (kv[i].first == kv[i + 1].first) {
+      kv.erase(kv.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  int bucket = 0;
+  if (value > 0) {
+    bucket = 64 - __builtin_clzll(value);  // floor(log2(v)) + 1
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::max(0.0, std::min(100.0, p));
+  // Rank of the requested observation (1-based ceiling).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      if (i == 0) return 0;
+      // Upper bound of bucket i = 2^i - 1; clamp to the observed max.
+      const uint64_t upper =
+          i >= 64 ? ~0ull : (uint64_t{1} << i) - 1;
+      return std::min(upper, max());
+    }
+  }
+  return max();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreateLocked(
+    const std::string& name, MetricLabels labels, Kind kind) {
+  labels.Normalize();
+  const std::string key = EntryKey(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    PREGELIX_CHECK(it->second.kind == kind)
+        << "metric " << name << " re-registered as a different kind";
+    return &it->second;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.labels = std::move(labels);
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(key, std::move(entry)).first->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindLocked(
+    const std::string& name, const MetricLabels& labels) const {
+  MetricLabels normalized = labels;
+  normalized.Normalize();
+  auto it = entries_.find(EntryKey(name, normalized));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreateLocked(name, std::move(labels), Kind::kCounter)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreateLocked(name, std::move(labels), Kind::kGauge)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreateLocked(name, std::move(labels), Kind::kHistogram)
+      ->histogram.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = FindLocked(name, labels);
+  return entry != nullptr && entry->kind == Kind::kCounter
+             ? entry->counter->value()
+             : 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name,
+                                    const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = FindLocked(name, labels);
+  return entry != nullptr && entry->kind == Kind::kGauge
+             ? entry->gauge->value()
+             : 0;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t MetricsRegistry::SumCounters(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.kind == Kind::kCounter && entry.name == name) {
+      total += entry.counter->value();
+    }
+  }
+  return total;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto write_kind = [&](Kind kind) {
+    bool first = true;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.kind != kind) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"";
+      AppendJsonEscaped(os, entry.name);
+      os << "\",\"labels\":";
+      WriteLabels(os, entry.labels);
+      switch (kind) {
+        case Kind::kCounter:
+          os << ",\"value\":" << entry.counter->value();
+          break;
+        case Kind::kGauge:
+          os << ",\"value\":" << entry.gauge->value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          char mean[32];
+          snprintf(mean, sizeof(mean), "%.3f", h.mean());
+          os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+             << ",\"mean\":" << mean << ",\"p50\":" << h.Percentile(50)
+             << ",\"p90\":" << h.Percentile(90)
+             << ",\"p99\":" << h.Percentile(99) << ",\"max\":" << h.max();
+          break;
+        }
+      }
+      os << "}";
+    }
+  };
+  os << "{\"counters\":[";
+  write_kind(Kind::kCounter);
+  os << "],\"gauges\":[";
+  write_kind(Kind::kGauge);
+  os << "],\"histograms\":[";
+  write_kind(Kind::kHistogram);
+  os << "]}";
+}
+
+Status MetricsRegistry::ExportJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open metrics output " + path);
+  }
+  WriteJson(out);
+  out.close();
+  if (!out.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace pregelix

@@ -1,0 +1,162 @@
+#ifndef PREGELIX_COMMON_METRICS_REGISTRY_H_
+#define PREGELIX_COMMON_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+// Labeled metrics for the dataflow / storage / Pregel stack.
+//
+// A MetricsRegistry hands out pointers to named, labeled instruments
+// (counters, gauges, histograms). Lookup-or-create takes the registry lock
+// once; the returned pointer is stable for the registry's lifetime, so hot
+// paths capture it at setup time and then pay one relaxed atomic op per
+// update. This subsumes the five fixed WorkerMetrics counters: those remain
+// the cost-model input, while the registry carries the labeled,
+// per-operator / per-storage-tier breakdown the cost model cannot express.
+//
+// Naming convention (see DESIGN.md "Observability"):
+//   pregelix.<layer>.<name>    e.g. pregelix.buffer.hits
+// with labels such as operator, worker, superstep, storage_tier.
+
+namespace pregelix {
+
+/// Label set for one instrument. Keys are normalized (sorted, deduplicated
+/// last-wins) so {a=1,b=2} and {b=2,a=1} name the same instrument.
+struct MetricLabels {
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  MetricLabels() = default;
+  MetricLabels(
+      std::initializer_list<std::pair<std::string, std::string>> init)
+      : kv(init) {}
+
+  MetricLabels& Add(std::string key, std::string value) {
+    kv.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  void Normalize();
+};
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins signed value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram over non-negative integer observations (e.g. microseconds,
+/// bytes). Power-of-two buckets: bucket 0 holds value 0, bucket i holds
+/// [2^(i-1), 2^i). Observe is wait-free; percentiles are estimated at the
+/// upper bound of the bucket containing the requested rank, which bounds
+/// the error by the bucket width.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Value at percentile p in [0, 100]. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Lookup-or-create. The returned pointer stays valid for the registry's
+  /// lifetime; a (name, labels) pair always resolves to the same instrument.
+  /// Registering the same name as two different instrument kinds aborts.
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  Histogram* GetHistogram(const std::string& name, MetricLabels labels = {});
+
+  /// Test/inspection helpers: value of an instrument, 0 if absent.
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels = {}) const;
+  int64_t GaugeValue(const std::string& name,
+                     const MetricLabels& labels = {}) const;
+
+  /// Number of registered (name, labels) instruments.
+  size_t size() const;
+
+  /// Sums counter values across all label sets of `name`.
+  uint64_t SumCounters(const std::string& name) const;
+
+  /// Flat JSON dump:
+  ///   {"counters":[{"name":...,"labels":{...},"value":N},...],
+  ///    "gauges":[...],
+  ///    "histograms":[{...,"count":N,"sum":N,"mean":X,"p50":N,...}]}
+  /// Deterministically ordered by (name, labels).
+  void WriteJson(std::ostream& os) const;
+  Status ExportJson(const std::string& path) const;
+
+  /// Process-wide default instance.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreateLocked(const std::string& name, MetricLabels labels,
+                           Kind kind);
+  const Entry* FindLocked(const std::string& name,
+                          const MetricLabels& labels) const;
+
+  mutable std::mutex mutex_;
+  /// Keyed by name + normalized labels; std::map keeps the JSON dump in a
+  /// stable, diff-friendly order.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_METRICS_REGISTRY_H_

@@ -1,0 +1,192 @@
+#ifndef PREGELIX_COMMON_TRACE_H_
+#define PREGELIX_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+// Operator-level tracing for the dataflow / storage / Pregel stack.
+//
+// A Tracer records nested spans (name, category, worker, start, duration,
+// counter deltas) into per-thread buffers: a recording thread appends to a
+// buffer only it writes, so the hot path takes no shared lock (the registry
+// lock is paid once per thread, when its buffer is created). Export produces
+// either Chrome `trace_event` JSON — loadable in chrome://tracing and
+// Perfetto, with one track per simulated worker — or a flat per-span-name
+// summary for machine diffing.
+//
+// Cost when off: a span construction is one relaxed atomic load. Compiling
+// with -DPREGELIX_DISABLE_TRACING removes even that (TraceSpan becomes an
+// empty object and nothing is recorded, regardless of runtime flags).
+
+namespace pregelix {
+
+/// Span categories; exported as the Chrome `cat` field. Free-form strings
+/// are allowed, but the instrumented layers stick to this taxonomy so
+/// traces can be filtered per layer (see DESIGN.md "Observability").
+namespace trace_cat {
+inline constexpr const char* kDataflow = "dataflow";
+inline constexpr const char* kOperator = "operator";
+inline constexpr const char* kStorage = "storage";
+inline constexpr const char* kBuffer = "buffer";
+inline constexpr const char* kPregel = "pregel";
+}  // namespace trace_cat
+
+/// Worker id used for spans emitted by the driver (the superstep loop),
+/// which runs outside any simulated worker. Exported as its own track.
+inline constexpr int kTraceDriverWorker = -1;
+
+/// One completed span. `args` carries small integer annotations (superstep
+/// number, counter deltas, tuple counts) into the Chrome `args` object.
+struct TraceEvent {
+  std::string name;
+  const char* category = trace_cat::kDataflow;
+  int worker = 0;
+  int tid = 0;  ///< recording-thread track, assigned per thread buffer
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Runtime switch. Spans started while disabled record nothing.
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer was constructed (the trace timebase).
+  uint64_t NowMicros() const;
+
+  /// Appends one finished event to the calling thread's buffer.
+  void Record(TraceEvent event);
+
+  /// Merged copy of all buffers, ordered by start time.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Total recorded events across all thread buffers.
+  size_t event_count() const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void Clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with one "X" (complete)
+  /// event per span plus process_name metadata naming each worker track.
+  void WriteChromeTrace(std::ostream& os) const;
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// Flat aggregation: per (category, name) count / total / min / max
+  /// microseconds, as a JSON array sorted by total descending.
+  void WriteSummaryJson(std::ostream& os) const;
+
+  /// Process-wide default instance (disabled until Enable()).
+  static Tracer& Global();
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadBuffer {
+    mutable std::mutex mutex;  ///< taken by Collect/Clear, and by the owner
+    std::vector<TraceEvent> events;
+    int tid = 0;
+  };
+
+  /// The calling thread's buffer for this tracer (created on first use).
+  ThreadBuffer* GetThreadBuffer();
+
+  const uint64_t tracer_id_;  ///< process-unique, never reused
+  std::atomic<bool> enabled_{false};
+  uint64_t epoch_ns_ = 0;  ///< steady-clock origin of the timebase
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records one complete event from construction to destruction.
+/// When the tracer is null or disabled at construction time the span is
+/// inert — destruction and AddArg cost nothing.
+class TraceSpan {
+ public:
+#ifndef PREGELIX_DISABLE_TRACING
+  TraceSpan(Tracer* tracer, std::string name, const char* category,
+            int worker, const WorkerMetrics* metrics = nullptr)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ == nullptr) return;
+    event_.name = std::move(name);
+    event_.category = category;
+    event_.worker = worker;
+    event_.start_us = tracer_->NowMicros();
+    metrics_ = metrics;
+    if (metrics_ != nullptr) entry_ = metrics_->Snapshot();
+  }
+
+  ~TraceSpan() { End(); }
+
+  /// Attaches an integer annotation (exported into Chrome `args`).
+  void AddArg(const char* key, int64_t value) {
+    if (tracer_ != nullptr) event_.args.emplace_back(key, value);
+  }
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Ends the span early (idempotent). Counter deltas against the entry
+  /// snapshot are appended as args when a meter was supplied.
+  void End() {
+    if (tracer_ == nullptr) return;
+    event_.duration_us = tracer_->NowMicros() - event_.start_us;
+    if (metrics_ != nullptr) {
+      const MetricsSnapshot d = metrics_->Snapshot() - entry_;
+      if (d.cpu_ops != 0) AddArg("cpu_ops", static_cast<int64_t>(d.cpu_ops));
+      if (d.disk_read_bytes != 0) {
+        AddArg("disk_read_bytes", static_cast<int64_t>(d.disk_read_bytes));
+      }
+      if (d.disk_write_bytes != 0) {
+        AddArg("disk_write_bytes", static_cast<int64_t>(d.disk_write_bytes));
+      }
+      if (d.disk_seeks != 0) {
+        AddArg("disk_seeks", static_cast<int64_t>(d.disk_seeks));
+      }
+      if (d.net_bytes != 0) {
+        AddArg("net_bytes", static_cast<int64_t>(d.net_bytes));
+      }
+    }
+    Tracer* t = tracer_;
+    tracer_ = nullptr;
+    t->Record(std::move(event_));
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const WorkerMetrics* metrics_ = nullptr;
+  MetricsSnapshot entry_;
+  TraceEvent event_;
+#else
+  TraceSpan(Tracer*, std::string, const char*, int,
+            const WorkerMetrics* = nullptr) {}
+  void AddArg(const char*, int64_t) {}
+  bool active() const { return false; }
+  void End() {}
+#endif
+
+ public:
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_TRACE_H_

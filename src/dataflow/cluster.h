@@ -9,7 +9,9 @@
 #include "buffer/buffer_cache.h"
 #include "common/config.h"
 #include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace pregelix {
 
@@ -42,6 +44,16 @@ class SimulatedCluster {
     return workers_[worker]->dir;
   }
 
+  /// Observability sinks (from ClusterConfig, falling back to the process
+  /// globals). Never null.
+  Tracer* tracer() const { return tracer_; }
+  MetricsRegistry* registry() const { return registry_; }
+
+  /// Publishes per-worker counters (cost-model meters and buffer-cache
+  /// hit/miss/eviction/writeback) into the registry as labeled gauges.
+  /// Called before a metrics export; cheap enough to call repeatedly.
+  void PublishMetrics();
+
   /// Scratch directory for one partition (under its worker's disks).
   std::string partition_dir(int partition) const;
 
@@ -65,6 +77,8 @@ class SimulatedCluster {
   };
 
   ClusterConfig config_;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> next_file_id_{0};
 };

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/temp_dir.h"
+#include "common/trace.h"
 #include "dataflow/channel.h"
 #include "dataflow/frame.h"
 #include "dataflow/operator.h"
@@ -132,7 +134,8 @@ class ConnectorSender : public TupleSink {
 
   ConnectorSender(const ConnectorSpec* spec, std::vector<Destination> dests,
                   int routing_fanout, int src_worker, size_t frame_size,
-                  int field_count, WorkerMetrics* metrics)
+                  int field_count, WorkerMetrics* metrics,
+                  MetricsRegistry* registry, const std::string& src_op_name)
       : spec_(spec),
         dests_(std::move(dests)),
         routing_fanout_(routing_fanout),
@@ -141,6 +144,15 @@ class ConnectorSender : public TupleSink {
     appenders_.reserve(dests_.size());
     for (size_t i = 0; i < dests_.size(); ++i) {
       appenders_.emplace_back(frame_size, field_count);
+    }
+    if (registry != nullptr) {
+      const MetricLabels labels{{"operator", src_op_name},
+                                {"worker", std::to_string(src_worker_)}};
+      tuples_out_ = registry->GetCounter("pregelix.dataflow.tuples_out", labels);
+      frames_out_ = registry->GetCounter("pregelix.dataflow.connector_frames",
+                                         labels);
+      bytes_out_ = registry->GetCounter("pregelix.dataflow.connector_bytes",
+                                        labels);
     }
   }
 
@@ -158,6 +170,7 @@ class ConnectorSender : public TupleSink {
       PREGELIX_CHECK(appender.Append(fields)) << "tuple cannot fit any frame";
     }
     if (metrics_ != nullptr) metrics_->AddCpuOps(1);
+    if (tuples_out_ != nullptr) tuples_out_->Increment();
     return Status::OK();
   }
 
@@ -178,6 +191,10 @@ class ConnectorSender : public TupleSink {
     if (metrics_ != nullptr && dests_[d].dst_worker != src_worker_) {
       metrics_->AddNet(frame.size());
     }
+    if (frames_out_ != nullptr) {
+      frames_out_->Increment();
+      bytes_out_->Add(frame.size());
+    }
     return dests_[d].channel->Put(std::move(frame));
   }
 
@@ -186,6 +203,9 @@ class ConnectorSender : public TupleSink {
   int routing_fanout_;
   int src_worker_;
   WorkerMetrics* metrics_;
+  Counter* tuples_out_ = nullptr;
+  Counter* frames_out_ = nullptr;
+  Counter* bytes_out_ = nullptr;
   std::vector<FrameTupleAppender> appenders_;
   bool closed_ = false;
 };
@@ -300,6 +320,8 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
       ctx->frame_size = config.frame_size;
       ctx->metrics = &cluster.metrics(ctx->worker);
       ctx->cache = &cluster.cache(ctx->worker);
+      ctx->tracer = cluster.tracer();
+      ctx->registry = cluster.registry();
       ctx->scratch_dir = cluster.partition_dir(p);
       PREGELIX_CHECK(EnsureDir(ctx->scratch_dir));
       ctx->config = &config;
@@ -361,7 +383,9 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
             c.src_output,
             std::make_unique<ConnectorSender>(&c, std::move(dests), fanout,
                                               ctx->worker, config.frame_size,
-                                              c.field_count, ctx->metrics));
+                                              c.field_count, ctx->metrics,
+                                              ctx->registry,
+                                              entry.descriptor->name()));
       }
       std::sort(outputs.begin(), outputs.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -383,7 +407,17 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
   for (Task& task : tasks) {
     threads.emplace_back([&cluster, &spec, &task, &abort, &status_mutex,
                           &first_error]() {
-      Status s = task.instance->Run(*task.ctx);
+      Status s;
+      {
+        // One span per operator activation; carries the worker counter
+        // deltas (cpu/disk/net) accrued while the task ran.
+        TraceSpan span(task.ctx->tracer,
+                       spec.ops()[task.op].descriptor->name(),
+                       trace_cat::kOperator, task.ctx->worker,
+                       task.ctx->metrics);
+        span.AddArg("partition", task.partition);
+        s = task.instance->Run(*task.ctx);
+      }
       if (s.ok()) {
         // Close outputs (end-of-stream) and drain unread inputs so upstream
         // senders are never left blocked on a full channel.

@@ -48,6 +48,8 @@ struct TaskContext {
   size_t frame_size = 32 * 1024;
   WorkerMetrics* metrics = nullptr;
   BufferCache* cache = nullptr;
+  Tracer* tracer = nullptr;           ///< cluster tracer; never null under RunJob
+  MetricsRegistry* registry = nullptr;  ///< cluster registry; never null under RunJob
   std::string scratch_dir;          ///< partition-local scratch directory
   const ClusterConfig* config = nullptr;
   void* runtime_context = nullptr;  ///< job-defined per-cluster state

@@ -176,6 +176,10 @@ Status RunWriter::Finish() {
 
 Status MergeRuns(const SortConfig& config, const GroupCombiner& combiner,
                  std::vector<std::string> run_paths, const TupleEmitFn& emit) {
+  TraceSpan span(config.tracer, "sort.merge", trace_cat::kDataflow,
+                 config.worker, config.metrics);
+  span.AddArg("runs", static_cast<int64_t>(run_paths.size()));
+  span.AddArg("fanin", config.merge_fanin);
   uint64_t pass_id = 0;
   // Intermediate passes until the fan-in fits.
   while (static_cast<int>(run_paths.size()) > config.merge_fanin) {
@@ -306,6 +310,10 @@ Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
 }
 
 Status ExternalSortGrouper::SpillBatch() {
+  TraceSpan span(config_.tracer, "sort.run_generation", trace_cat::kDataflow,
+                 config_.worker, config_.metrics);
+  span.AddArg("tuples", static_cast<int64_t>(entries_.size()));
+  span.AddArg("run", static_cast<int64_t>(next_run_id_));
   const std::string path =
       config_.scratch_prefix + "-run-" + std::to_string(next_run_id_++);
   internal_sort::RunWriter writer(config_, path);
@@ -380,6 +388,10 @@ Status HashSortGrouper::Add(std::span<const Slice> fields) {
 
 Status HashSortGrouper::SpillTable() {
   if (table_.empty()) return Status::OK();
+  TraceSpan span(config_.tracer, "hashsort.run_generation",
+                 trace_cat::kDataflow, config_.worker, config_.metrics);
+  span.AddArg("groups", static_cast<int64_t>(table_.size()));
+  span.AddArg("run", static_cast<int64_t>(next_run_id_));
   std::vector<const std::pair<const std::string, std::string>*> sorted;
   sorted.reserve(table_.size());
   for (const auto& kv : table_) sorted.push_back(&kv);

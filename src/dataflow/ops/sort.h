@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "dataflow/frame.h"
 #include "io/run_file.h"
 
@@ -43,6 +44,8 @@ struct SortConfig {
   size_t frame_size = 32 * 1024;
   std::string scratch_prefix;  ///< run files: <prefix>-run-<i>
   WorkerMetrics* metrics = nullptr;
+  Tracer* tracer = nullptr;  ///< optional; spans for run generation vs merge
+  int worker = 0;            ///< worker id stamped on sort spans
   int merge_fanin = 16;
 };
 

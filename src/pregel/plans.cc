@@ -67,6 +67,8 @@ SortConfig MakeSortConfig(JobRuntimeContext* ctx, TaskContext& task,
   config.scratch_prefix = ctx->PartitionDir(task.partition) + "/" + tag +
                           "-" + std::to_string(ctx->current_superstep);
   config.metrics = task.metrics;
+  config.tracer = task.tracer;
+  config.worker = task.worker;
   return config;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/temp_dir.h"
+#include "common/trace.h"
 #include "dataflow/executor.h"
 #include "io/file.h"
 #include "pregel/plans.h"
@@ -90,12 +91,16 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
   };
 
   if (do_load) {
+    TraceSpan span(cluster_->tracer(), "pregel.load", trace_cat::kPregel,
+                   kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
     JobSpec load = BuildLoadJob(ctx);
     PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, load, ctx));
     result->load_sim_seconds = SimulatedStepSeconds(
         Delta(before, cluster_->SnapshotAll()), cost_params_);
     PREGELIX_RETURN_NOT_OK(init_gs_after_load());
+    span.AddArg("vertices", ctx->gs.num_vertices);
+    span.AddArg("edges", ctx->gs.num_edges);
   }
 
   int64_t last_checkpoint = -1;
@@ -141,6 +146,8 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     ctx->vertices_removed = 0;
     ctx->edges_delta = 0;
 
+    TraceSpan step_span(cluster_->tracer(), "pregel.superstep",
+                        trace_cat::kPregel, kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
     const double step_wall = WallSeconds();
     JobSpec spec = BuildSuperstepJob(ctx);
@@ -162,9 +169,27 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     result->superstep_stats.push_back(stats);
     result->supersteps_sim_seconds += stats.sim_seconds;
 
+    // Close the superstep span carrying the SuperstepStats the runtime just
+    // computed, so one trace row tells the whole per-iteration story.
+    step_span.AddArg("superstep", superstep);
+    step_span.AddArg("live_vertices", stats.live_vertices);
+    step_span.AddArg("messages", stats.messages);
+    step_span.AddArg("left_outer_join", stats.used_left_outer_join ? 1 : 0);
+    step_span.AddArg("sim_millis",
+                     static_cast<int64_t>(stats.sim_seconds * 1e3));
+    step_span.AddArg("cluster_cpu_ops",
+                     static_cast<int64_t>(stats.cluster_delta.cpu_ops));
+    step_span.AddArg(
+        "cluster_net_bytes",
+        static_cast<int64_t>(stats.cluster_delta.net_bytes));
+    step_span.End();
+
     // --- Checkpoint at user-selected boundaries ---------------------------
     if (config.checkpoint_interval > 0 &&
         superstep % config.checkpoint_interval == 0 && !ctx->gs.halt) {
+      TraceSpan ckpt_span(cluster_->tracer(), "pregel.checkpoint",
+                          trace_cat::kPregel, kTraceDriverWorker);
+      ckpt_span.AddArg("superstep", superstep);
       JobSpec ckpt = BuildCheckpointJob(ctx, superstep);
       PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, ckpt, ctx));
       PREGELIX_RETURN_NOT_OK(dfs_->Write(
@@ -177,6 +202,8 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
   }
 
   if (do_dump) {
+    TraceSpan span(cluster_->tracer(), "pregel.dump", trace_cat::kPregel,
+                   kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
     JobSpec dump = BuildDumpJob(ctx);
     PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, dump, ctx));

@@ -221,6 +221,14 @@ Status BTree::Open(BufferCache* cache, const std::string& path,
   int file_id = -1;
   PREGELIX_RETURN_NOT_OK(cache->OpenFile(path, &file_id));
   std::unique_ptr<BTree> tree(new BTree(cache, file_id));
+  if (cache->registry() != nullptr) {
+    const MetricLabels labels{{"worker", std::to_string(cache->worker_id())},
+                              {"storage_tier", "btree"}};
+    tree->probes_ = cache->registry()->GetCounter("pregelix.storage.probes",
+                                                  labels);
+    tree->inserts_ = cache->registry()->GetCounter("pregelix.storage.inserts",
+                                                   labels);
+  }
   if (cache->NumPages(file_id) == 0) {
     // Fresh tree: meta page + empty leaf root.
     PageHandle meta;
@@ -412,6 +420,7 @@ Status BTree::FindLeaf(const Slice& key, std::vector<PageId>* path_pages,
 }
 
 Status BTree::Get(const Slice& key, std::string* value) {
+  if (probes_ != nullptr) probes_->Increment();
   PageId leaf_id;
   PREGELIX_RETURN_NOT_OK(FindLeaf(key, nullptr, &leaf_id));
   PageHandle page;
@@ -433,6 +442,7 @@ Status BTree::Get(const Slice& key, std::string* value) {
 // Insert / split
 
 Status BTree::Upsert(const Slice& key, const Slice& value) {
+  if (inserts_ != nullptr) inserts_->Increment();
   PREGELIX_CHECK(key.size() + 64 < cache_->page_size() / 4)
       << "key too large for page size";
   std::vector<PageId> path;
@@ -920,6 +930,9 @@ class BTreeBulkLoader : public IndexBulkLoader {
   Status Finish() override {
     PREGELIX_CHECK(!finished_);
     finished_ = true;
+    TraceSpan span(tree_->cache_->tracer(), "btree.bulk_load",
+                   trace_cat::kStorage, tree_->cache_->worker_id());
+    span.AddArg("entries", static_cast<int64_t>(tree_->num_entries_));
     leaf_.Release();
     if (level_entries_.empty()) {
       // Empty input: keep the existing empty root.

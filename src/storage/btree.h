@@ -102,6 +102,10 @@ class BTree : public OrderedIndex {
 
   BufferCache* cache_;
   int file_id_;
+  // Cached registry counters (null when the cache has no registry attached,
+  // e.g. a standalone cache in a unit test). Labeled storage_tier=btree.
+  Counter* probes_ = nullptr;
+  Counter* inserts_ = nullptr;
   PageId root_ = 0;
   PageId first_leaf_ = 0;
   PageId free_head_ = 0xFFFFFFFFu;  ///< head of the freed-page list

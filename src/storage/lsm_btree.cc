@@ -34,6 +34,14 @@ Status LsmBTree::Open(BufferCache* cache, const std::string& dir,
     return Status::IoError("cannot create lsm dir " + dir);
   }
   std::unique_ptr<LsmBTree> lsm(new LsmBTree(cache, dir, memtable_budget_bytes));
+  if (cache->registry() != nullptr) {
+    const MetricLabels labels{{"worker", std::to_string(cache->worker_id())},
+                              {"storage_tier", "lsm"}};
+    lsm->probes_ = cache->registry()->GetCounter("pregelix.storage.probes",
+                                                 labels);
+    lsm->inserts_ = cache->registry()->GetCounter("pregelix.storage.inserts",
+                                                  labels);
+  }
   // Recover existing disk components (newest = highest id first). Component
   // files are immutable once their bulk load finished, so reopening is just
   // re-attaching them.
@@ -64,6 +72,7 @@ std::string LsmBTree::NextComponentPath() {
 }
 
 Status LsmBTree::Write(const Slice& key, const Slice& value, bool tombstone) {
+  if (inserts_ != nullptr) inserts_->Increment();
   std::string stored;
   stored.reserve(value.size() + 1);
   stored.push_back(tombstone ? kTombstoneMarker : kPutMarker);
@@ -90,6 +99,7 @@ Status LsmBTree::Delete(const Slice& key) {
 }
 
 Status LsmBTree::Get(const Slice& key, std::string* value) {
+  if (probes_ != nullptr) probes_->Increment();
   auto it = memtable_.find(key.ToString());
   if (it != memtable_.end()) {
     if (it->second[0] == kTombstoneMarker) return Status::NotFound();
@@ -110,6 +120,10 @@ Status LsmBTree::Get(const Slice& key, std::string* value) {
 
 Status LsmBTree::FlushMemtable() {
   if (memtable_.empty()) return Status::OK();
+  TraceSpan span(cache_->tracer(), "lsm.flush_memtable", trace_cat::kStorage,
+                 cache_->worker_id());
+  span.AddArg("entries", static_cast<int64_t>(memtable_.size()));
+  span.AddArg("bytes", static_cast<int64_t>(memtable_bytes_));
   std::unique_ptr<BTree> component;
   PREGELIX_RETURN_NOT_OK(BTree::Open(cache_, NextComponentPath(), &component));
   std::unique_ptr<IndexBulkLoader> loader = component->NewBulkLoader();
@@ -140,6 +154,9 @@ Status LsmBTree::MergeAll() {
     tombstones_ = 0;
     return Status::OK();
   }
+  TraceSpan span(cache_->tracer(), "lsm.merge", trace_cat::kStorage,
+                 cache_->worker_id());
+  span.AddArg("components", static_cast<int64_t>(components_.size()));
   // K-way merge of component iterators, newest component wins per key.
   struct Cursor {
     std::unique_ptr<IndexIterator> it;

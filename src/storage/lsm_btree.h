@@ -71,6 +71,10 @@ class LsmBTree : public OrderedIndex {
   std::string NextComponentPath();
 
   BufferCache* cache_;
+  // Cached registry counters (null without an attached registry). Labeled
+  // storage_tier=lsm; the component B-trees count their own probes.
+  Counter* probes_ = nullptr;
+  Counter* inserts_ = nullptr;
   std::string dir_;
   size_t memtable_budget_;
   size_t memtable_bytes_ = 0;

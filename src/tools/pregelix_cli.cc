@@ -19,7 +19,9 @@
 #include <string>
 
 #include "algorithms/algorithms.h"
+#include "common/metrics_registry.h"
 #include "common/temp_dir.h"
+#include "common/trace.h"
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
 #include "graph/generator.h"
@@ -76,6 +78,9 @@ commands:
       --checkpoint-interval=K   checkpoint every K supersteps (default off)
       --max-supersteps=K        safety bound (default 1000)
       --stats                   print per-superstep statistics
+      --trace-out=FILE          write a Chrome trace_event JSON (open in
+                                chrome://tracing or ui.perfetto.dev)
+      --metrics-json=FILE       write the metrics registry as JSON
 )");
   return 2;
 }
@@ -89,6 +94,17 @@ Status RunCommand(const Flags& flags) {
   config.worker_ram_bytes =
       static_cast<size_t>(flags.GetInt("worker-ram-mb", 16)) << 20;
   config.temp_root = scratch.Sub("cluster");
+  const std::string trace_out = flags.Get("trace-out");
+  const std::string metrics_json = flags.Get("metrics-json");
+  Tracer tracer;
+  MetricsRegistry registry;
+  if (!trace_out.empty()) {
+    tracer.Enable();
+    config.tracer = &tracer;
+  }
+  if (!metrics_json.empty()) {
+    config.metrics_registry = &registry;
+  }
   SimulatedCluster cluster(config);
   PregelixRuntime runtime(&cluster, &dfs);
 
@@ -150,6 +166,18 @@ Status RunCommand(const Flags& flags) {
 
   JobResult result;
   PREGELIX_RETURN_NOT_OK(runtime.Run(adapter.get(), job, &result));
+
+  if (!trace_out.empty()) {
+    PREGELIX_RETURN_NOT_OK(tracer.ExportChromeTrace(trace_out));
+    printf("trace (%llu events) in %s\n",
+           static_cast<unsigned long long>(tracer.event_count()),
+           trace_out.c_str());
+  }
+  if (!metrics_json.empty()) {
+    cluster.PublishMetrics();
+    PREGELIX_RETURN_NOT_OK(registry.ExportJson(metrics_json));
+    printf("metrics in %s\n", metrics_json.c_str());
+  }
 
   printf("%s: %lld supersteps over %lld vertices / %lld edges\n",
          algorithm.c_str(), static_cast<long long>(result.supersteps),

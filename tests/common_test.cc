@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
@@ -169,6 +171,46 @@ TEST(MetricsTest, StepTimeIsMaxAcrossWorkersPlusBarrier) {
   slow.cpu_ops = 3'000'000;        // 3 s
   const double t = SimulatedStepSeconds({fast, slow}, params);
   EXPECT_NEAR(t, 3.5, 1e-9);
+}
+
+TEST(MetricsTest, SnapshotWhileAddingIsSafeAndResetIsAtomic) {
+  // Concurrency smoke test: writers hammer the counters while a reader
+  // snapshots and occasionally resets. Under TSan this catches any regression
+  // to non-atomic accesses; everywhere it checks snapshots stay coherent
+  // (monotone between resets, never torn past the per-writer total).
+  WorkerMetrics m;
+  constexpr int kWriters = 3;
+  constexpr uint64_t kAddsPerWriter = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&m]() {
+      for (uint64_t i = 0; i < kAddsPerWriter; ++i) {
+        m.AddCpuOps(1);
+        m.AddNet(2);
+      }
+    });
+  }
+  std::thread reader([&m, &done]() {
+    while (!done.load(std::memory_order_relaxed)) {
+      MetricsSnapshot s = m.Snapshot();
+      EXPECT_LE(s.cpu_ops, kWriters * kAddsPerWriter);
+      EXPECT_LE(s.net_bytes, 2 * kWriters * kAddsPerWriter);
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  MetricsSnapshot total = m.Snapshot();
+  EXPECT_EQ(total.cpu_ops, kWriters * kAddsPerWriter);
+  EXPECT_EQ(total.net_bytes, 2 * kWriters * kAddsPerWriter);
+  m.Reset();
+  MetricsSnapshot zero = m.Snapshot();
+  EXPECT_EQ(zero.cpu_ops, 0u);
+  EXPECT_EQ(zero.net_bytes, 0u);
+  EXPECT_EQ(zero.disk_read_bytes, 0u);
+  EXPECT_EQ(zero.disk_write_bytes, 0u);
+  EXPECT_EQ(zero.disk_seeks, 0u);
 }
 
 TEST(ConfigTest, DeriveFillsBudgetsFromWorkerRam) {
