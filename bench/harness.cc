@@ -17,15 +17,30 @@ Env::Env() : dir_("pregelix-bench") {
   dfs_ = std::make_unique<DistributedFileSystem>(dir_.Sub("dfs"));
 }
 
+namespace {
+
+/// Records a dataset's generation seed in the process-wide registry, so the
+/// PREGELIX_METRICS_JSON artifact is self-reproducing: the seed that built
+/// every graph a failing run touched is in the output.
+void RecordDatasetSeed(const Dataset& d) {
+  MetricsRegistry::Global()
+      .GetGauge("pregelix.bench.dataset_seed", {{"dataset", d.name}})
+      ->Set(static_cast<int64_t>(d.seed));
+}
+
+}  // namespace
+
 Dataset Env::Webmap(const std::string& name, int64_t vertices,
                     double avg_degree) {
   Dataset d;
   d.name = name;
   d.dir = "data/" + name;
+  d.seed = 1000 + static_cast<uint64_t>(vertices);
   Status s = GenerateWebmapLike(*dfs_, d.dir, 4, vertices, avg_degree,
-                                /*seed=*/1000 + vertices, &d.stats);
+                                d.seed, &d.stats);
   PREGELIX_CHECK(s.ok()) << s.ToString();
   d.stats.name = name;
+  RecordDatasetSeed(d);
   return d;
 }
 
@@ -34,10 +49,12 @@ Dataset Env::Btc(const std::string& name, int64_t vertices,
   Dataset d;
   d.name = name;
   d.dir = "data/" + name;
-  Status s = GenerateBtcLike(*dfs_, d.dir, 4, vertices, avg_degree,
-                             /*seed=*/2000 + vertices, &d.stats);
+  d.seed = 2000 + static_cast<uint64_t>(vertices);
+  Status s = GenerateBtcLike(*dfs_, d.dir, 4, vertices, avg_degree, d.seed,
+                             &d.stats);
   PREGELIX_CHECK(s.ok()) << s.ToString();
   d.stats.name = name;
+  RecordDatasetSeed(d);
   return d;
 }
 
@@ -49,6 +66,8 @@ Dataset Env::ScaleUp(const Dataset& base, const std::string& name,
   Status s = ScaleUpGraph(*dfs_, base.dir, d.dir, 4, factor, &d.stats);
   PREGELIX_CHECK(s.ok()) << s.ToString();
   d.stats.name = name;
+  d.seed = base.seed;  // deterministic transform: the base seed reproduces it
+  RecordDatasetSeed(d);
   return d;
 }
 
@@ -57,12 +76,13 @@ Dataset Env::Sample(const Dataset& base, const std::string& name,
   Dataset d;
   d.name = name;
   d.dir = "data/" + name;
-  Status s = SampleGraphDir(*dfs_, base.dir, d.dir, 4, vertices,
-                            /*seed=*/3000 + vertices);
+  d.seed = 3000 + static_cast<uint64_t>(vertices);
+  Status s = SampleGraphDir(*dfs_, base.dir, d.dir, 4, vertices, d.seed);
   PREGELIX_CHECK(s.ok()) << s.ToString();
   s = MeasureGraph(*dfs_, d.dir, &d.stats);
   PREGELIX_CHECK(s.ok()) << s.ToString();
   d.stats.name = name;
+  RecordDatasetSeed(d);
   return d;
 }
 

@@ -21,6 +21,10 @@ struct Dataset {
   std::string name;
   std::string dir;
   GraphStats stats;
+  /// RNG seed the generator/sampler ran with. Reported in the metrics JSON
+  /// (pregelix.bench.dataset_seed{dataset=...}) so a failing run can be
+  /// reproduced from its artifact alone.
+  uint64_t seed = 0;
 
   /// The x-axis of Figures 10/11/14/15: dataset size over aggregate RAM.
   double Ratio(size_t aggregate_ram_bytes) const {

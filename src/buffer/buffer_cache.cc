@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace pregelix {
@@ -155,6 +156,7 @@ void BufferCache::TouchLocked(int slot_idx) {
 }
 
 Status BufferCache::WriteBackLocked(Slot& slot) {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("buffer.writeback"));
   FileEntry& entry = files_[slot.file_id];
   PREGELIX_CHECK(entry.open);
   PREGELIX_RETURN_NOT_OK(entry.file->Write(
@@ -177,6 +179,7 @@ Status BufferCache::GetFreeSlotLocked(int* slot_out) {
     }
   }
   // Otherwise evict the LRU unpinned page.
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("buffer.eviction"));
   if (lru_.empty()) {
     return Status::ResourceExhausted(
         "buffer cache: all pages pinned (capacity " +

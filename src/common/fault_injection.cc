@@ -1,0 +1,132 @@
+#include "common/fault_injection.h"
+
+#include "common/hash.h"
+#include "common/metrics_registry.h"
+
+namespace pregelix {
+namespace fault {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec.message.empty()) spec.message = "injected fault at " + point;
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+    points_[point].spec = std::move(spec);
+  } else {
+    it->second = PointState{};
+    it->second.spec = std::move(spec);
+  }
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  scope_superstep_ = kNoScope;
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetScope(int64_t superstep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scope_superstep_ = superstep;
+}
+
+int64_t FaultInjector::scope() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scope_superstep_;
+}
+
+bool FaultInjector::any_armed() const {
+  return armed_count_.load(std::memory_order_relaxed) > 0;
+}
+
+bool FaultInjector::RecordHit(const std::string& point, FaultSpec* spec_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  const uint64_t hit = ++state.hits;  // 1-based
+  if (spec.scope_superstep >= 0 && spec.scope_superstep != scope_superstep_) {
+    return false;
+  }
+  if (spec.max_fires > 0 && state.fires >= spec.max_fires) return false;
+  bool fire = false;
+  switch (spec.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kNthHit:
+      fire = (hit == spec.n);
+      break;
+    case Trigger::kEveryKth:
+      fire = (spec.n > 0 && hit % spec.n == 0);
+      break;
+    case Trigger::kProbability: {
+      // Stateless per-hit decision: depends only on (point, seed, hit), so
+      // a fixed hit sequence replays the same schedule regardless of
+      // thread interleaving between *different* points.
+      const uint64_t h = Hash64(point.data(), point.size(), spec.seed ^ hit);
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      fire = (u < spec.probability);
+      break;
+    }
+  }
+  if (!fire) return false;
+  ++state.fires;
+  *spec_out = spec;
+  MetricsRegistry::Global()
+      .GetCounter("pregelix.fault.fires", {{"point", point}})
+      ->Increment();
+  return true;
+}
+
+Status FaultInjector::MaybeFail(const std::string& point) {
+  FaultSpec spec;
+  if (!RecordHit(point, &spec)) return Status::OK();
+  if (spec.action == Action::kCrash) {
+    return Status::Aborted("simulated crash at " + point);
+  }
+  return Status(spec.code, spec.message);
+}
+
+Status FaultInjector::MaybeFailWrite(const std::string& point, size_t* len) {
+  FaultSpec spec;
+  if (!RecordHit(point, &spec)) return Status::OK();
+  if (spec.action == Action::kTornWrite) {
+    *len = *len / 2;  // write a prefix, then fail: a torn write
+  } else {
+    *len = 0;
+  }
+  if (spec.action == Action::kCrash) {
+    return Status::Aborted("simulated crash at " + point);
+  }
+  return Status(spec.code, spec.message);
+}
+
+PointStats FaultInjector::Stats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  PointStats stats;
+  if (it != points_.end()) {
+    stats.hits = it->second.hits;
+    stats.fires = it->second.fires;
+  }
+  return stats;
+}
+
+}  // namespace fault
+}  // namespace pregelix

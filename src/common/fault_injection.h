@@ -1,0 +1,142 @@
+// Deterministic fault injection.
+//
+// A process-global registry of named fault points. Library code declares a
+// point with fault::MaybeFail("io.file.write") (or MaybeFailWrite for
+// torn-write support); tests arm points with a FaultSpec describing *when*
+// the point fires (nth hit, every kth hit, seeded probability, optionally
+// restricted to one superstep) and *what* happens (a Status error of a
+// chosen code, a torn write, or a simulated crash that unwinds to the
+// driver as kAborted).
+//
+// Determinism: a point's decision for its i-th hit depends only on
+// (point name, spec seed, i) — never on wall clock, thread ids, or global
+// RNG state — so the same seed yields the same failure schedule for the
+// same sequence of hits. See DESIGN.md §12.
+//
+// Cost when disarmed: one relaxed atomic load per MaybeFail call.
+#ifndef PREGELIX_COMMON_FAULT_INJECTION_H_
+#define PREGELIX_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pregelix {
+namespace fault {
+
+enum class Trigger {
+  kAlways,       // fire on every hit
+  kNthHit,       // fire on the n-th hit only (1-based)
+  kEveryKth,     // fire on every k-th hit (hits n, 2n, 3n, ...)
+  kProbability,  // fire per-hit with probability p, seeded & deterministic
+};
+
+enum class Action {
+  kError,      // return Status(code, message)
+  kTornWrite,  // truncate the write, then return the error (MaybeFailWrite
+               // callers only; plain MaybeFail treats this as kError)
+  kCrash,      // return kAborted: the runtime treats this as a process
+               // crash and unwinds to the driver without retrying
+};
+
+struct FaultSpec {
+  Trigger trigger = Trigger::kAlways;
+  // kNthHit: the hit index that fires (1-based). kEveryKth: the period.
+  uint64_t n = 1;
+  // kProbability: chance per hit in [0,1], decided by hashing
+  // (point, seed, hit index) so concurrent hits stay deterministic
+  // per hit index.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  // If >= 0, fire only while the injector scope (set by the runtime at the
+  // top of each superstep) equals this superstep.
+  int64_t scope_superstep = -1;
+  Action action = Action::kError;
+  StatusCode code = StatusCode::kIoError;
+  std::string message;  // defaults to "injected fault at <point>"
+  // Stop firing after this many fires (0 = unlimited).
+  uint64_t max_fires = 0;
+};
+
+struct PointStats {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+/// Process-global fault point registry. Thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms (or re-arms, resetting counters) a fault point.
+  void Arm(const std::string& point, FaultSpec spec);
+  /// Disarms one point; its counters are discarded.
+  void Disarm(const std::string& point);
+  /// Disarms everything and clears the scope. Tests call this in teardown.
+  void Reset();
+
+  /// Sets the current superstep scope (kNoScope = none). The Pregel driver
+  /// calls this at the top of each superstep so specs with scope_superstep
+  /// only fire inside their target superstep.
+  static constexpr int64_t kNoScope = -1;
+  void SetScope(int64_t superstep);
+  int64_t scope() const;
+
+  /// Evaluates the point. Returns OK unless an armed spec fires.
+  Status MaybeFail(const std::string& point);
+
+  /// Write-path variant: `*len` holds the intended write size. On a
+  /// kTornWrite fire it is reduced to the prefix the caller must still
+  /// write before returning the error (simulating a partial write); on any
+  /// other fire it is set to 0.
+  Status MaybeFailWrite(const std::string& point, size_t* len);
+
+  /// Hit/fire counters for a point (zeros if never armed).
+  PointStats Stats(const std::string& point) const;
+
+  bool any_armed() const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  // Decides & records one hit. Returns whether the point fires and (by
+  // copy) the spec to apply.
+  bool RecordHit(const std::string& point, FaultSpec* spec_out);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+  int64_t scope_superstep_ = kNoScope;
+  // Fast path: number of armed points, read without the lock.
+  std::atomic<int> armed_count_{0};
+};
+
+/// Shorthands used at injection sites.
+inline Status MaybeFail(const std::string& point) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.any_armed()) return Status::OK();
+  return fi.MaybeFail(point);
+}
+
+inline Status MaybeFailWrite(const std::string& point, size_t* len) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.any_armed()) return Status::OK();
+  return fi.MaybeFailWrite(point, len);
+}
+
+/// True when `s` is the result of an Action::kCrash fire: the runtime
+/// must not retry it and must unwind to the driver.
+inline bool IsSimulatedCrash(const Status& s) { return s.IsAborted(); }
+
+}  // namespace fault
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,64 @@
+// Bounded retry-with-backoff for transient I/O failures.
+//
+// Only kIoError is considered transient: corruption means the bytes are
+// gone, kAborted is a (simulated) crash and must unwind to the driver
+// untouched. Attempts are surfaced in the metrics registry so a run's
+// artifact shows how much retrying it took to finish.
+#ifndef PREGELIX_COMMON_RETRY_H_
+#define PREGELIX_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/status.h"
+
+namespace pregelix {
+
+struct RetryPolicy {
+  int max_attempts = 4;
+  // Sleep before attempt k (k >= 2) is backoff_ms * 2^(k-2), capped below.
+  int backoff_ms = 2;
+  int max_backoff_ms = 50;
+};
+
+/// Runs `fn` until it succeeds, fails terminally, or the attempt budget is
+/// spent. `what` labels the retry counters (`pregelix.retry.*{op=what}`).
+inline Status RetryTransient(const std::string& what,
+                             const std::function<Status()>& fn,
+                             MetricsRegistry* registry = nullptr,
+                             RetryPolicy policy = RetryPolicy()) {
+  if (registry == nullptr) registry = &MetricsRegistry::Global();
+  Counter* attempts =
+      registry->GetCounter("pregelix.retry.attempts", {{"op", what}});
+  Counter* retried_ok =
+      registry->GetCounter("pregelix.retry.recovered", {{"op", what}});
+  Counter* exhausted =
+      registry->GetCounter("pregelix.retry.exhausted", {{"op", what}});
+  Status s;
+  int backoff = policy.backoff_ms;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    attempts->Increment();
+    s = fn();
+    if (s.ok()) {
+      if (attempt > 1) retried_ok->Increment();
+      return s;
+    }
+    // Terminal: anything but a transient I/O error, or the last attempt.
+    if (!s.IsIoError() || attempt == policy.max_attempts) break;
+    PLOG(Warn) << what << " attempt " << attempt
+               << " failed, retrying: " << s.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, policy.max_backoff_ms);
+  }
+  if (s.IsIoError()) exhausted->Increment();
+  return s;
+}
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_RETRY_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace pregelix {
@@ -23,6 +24,7 @@ FrameChannel::FrameChannel(size_t capacity_frames, Policy policy,
 
 Status FrameChannel::Put(std::string frame) {
   std::unique_lock<std::mutex> lock(mutex_);
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("channel.send"));
   if (policy_ == Policy::kSenderMaterialize) {
     if (spill_writer_ == nullptr) {
       PREGELIX_RETURN_NOT_OK(
@@ -57,6 +59,18 @@ Status FrameChannel::CloseSender() {
 
 bool FrameChannel::Get(std::string* frame) {
   std::unique_lock<std::mutex> lock(mutex_);
+  {
+    Status injected = fault::MaybeFail("channel.recv");
+    if (!injected.ok()) {
+      // Get's bool signature cannot carry a Status, so a receive fault is
+      // parked on the channel and the job is aborted; RunJob picks the
+      // status up after joining so the failure surfaces at the driver.
+      fault_status_ = std::move(injected);
+      if (abort_ != nullptr) abort_->store(true);
+      cv_.notify_all();
+      return false;
+    }
+  }
   if (policy_ == Policy::kSenderMaterialize) {
     // Wait for all senders, then stream the spill file.
     while (!AllSendersDone()) {
@@ -69,6 +83,8 @@ bool FrameChannel::Get(std::string* frame) {
           RunFileReader::Open(spill_path_, spill_metrics_, &spill_reader_);
       if (!s.ok()) {
         PLOG(Error) << "channel spill open failed: " << s.ToString();
+        fault_status_ = std::move(s);
+        if (abort_ != nullptr) abort_->store(true);
         return false;
       }
     }
@@ -80,7 +96,11 @@ bool FrameChannel::Get(std::string* frame) {
       DeleteFileIfExists(spill_path_);
       return false;
     }
-    return s.ok();
+    if (!s.ok()) {
+      fault_status_ = std::move(s);
+      if (abort_ != nullptr) abort_->store(true);
+    }
+    return fault_status_.ok();
   }
   for (;;) {
     if (!queue_.empty()) {
@@ -93,6 +113,11 @@ bool FrameChannel::Get(std::string* frame) {
     if (abort_ != nullptr && abort_->load()) return false;
     cv_.wait_for(lock, kAbortPollInterval);
   }
+}
+
+Status FrameChannel::fault_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_status_;
 }
 
 }  // namespace pregelix

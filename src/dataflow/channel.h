@@ -49,6 +49,12 @@ class FrameChannel {
   /// Receives the next frame; false at end-of-stream or abort.
   bool Get(std::string* frame);
 
+  /// Non-OK when the receive side failed (spill read error or injected
+  /// "channel.recv" fault). Get returns false in that case — the executor
+  /// promotes this status to the job error after joining the tasks, so a
+  /// receive failure is never mistaken for a clean end-of-stream.
+  Status fault_status() const;
+
   uint64_t frames_transferred() const { return frames_; }
 
  private:
@@ -60,11 +66,12 @@ class FrameChannel {
   WorkerMetrics* const spill_metrics_;
   std::atomic<bool>* const abort_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::string> queue_;
   int senders_open_;
   uint64_t frames_ = 0;
+  Status fault_status_;
 
   // Materializing mode state.
   std::unique_ptr<RunFileWriter> spill_writer_;

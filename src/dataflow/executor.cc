@@ -447,6 +447,23 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
   }
   for (std::thread& t : threads) t.join();
 
+  // A failed receive (injected channel.recv fault or spill read error) makes
+  // Get return false, which a task cannot distinguish from end-of-stream.
+  // The channel parks the real status; surface it as the job error.
+  if (first_error.ok()) {
+    for (const ConnectorChannels& cc : conn_channels) {
+      for (const auto& channel : cc.channels) {
+        if (channel == nullptr) continue;
+        Status cs = channel->fault_status();
+        if (!cs.ok()) {
+          first_error = Status(cs.code(), spec.name() + ": " + cs.message());
+          break;
+        }
+      }
+      if (!first_error.ok()) break;
+    }
+  }
+
   return first_error;
 }
 

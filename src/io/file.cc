@@ -4,9 +4,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace pregelix {
@@ -16,6 +18,20 @@ constexpr size_t kWriteBufferSize = 64 * 1024;
 
 std::string ErrnoMessage(const std::string& context) {
   return context + ": " + std::strerror(errno);
+}
+
+Status WriteFully(int fd, const char* data, size_t n,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write " + path));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
 }
 }  // namespace
 
@@ -52,15 +68,10 @@ Status WritableFile::Append(const Slice& data) {
   PREGELIX_RETURN_NOT_OK(FlushBuffer());
   if (data.size() >= kWriteBufferSize) {
     // Large write: go straight to the kernel.
-    size_t done = 0;
-    while (done < data.size()) {
-      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IoError(ErrnoMessage("write " + path_));
-      }
-      done += static_cast<size_t>(n);
-    }
+    size_t allowed = data.size();
+    Status injected = fault::MaybeFailWrite("io.file.write", &allowed);
+    PREGELIX_RETURN_NOT_OK(WriteFully(fd_, data.data(), allowed, path_));
+    PREGELIX_RETURN_NOT_OK(injected);
     if (metrics_ != nullptr) metrics_->AddDiskWrite(data.size());
     return Status::OK();
   }
@@ -69,14 +80,14 @@ Status WritableFile::Append(const Slice& data) {
 }
 
 Status WritableFile::FlushBuffer() {
-  size_t done = 0;
-  while (done < buffer_.size()) {
-    ssize_t n = ::write(fd_, buffer_.data() + done, buffer_.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(ErrnoMessage("write " + path_));
-    }
-    done += static_cast<size_t>(n);
+  if (buffer_.empty()) return Status::OK();
+  size_t allowed = buffer_.size();
+  Status injected = fault::MaybeFailWrite("io.file.write", &allowed);
+  PREGELIX_RETURN_NOT_OK(WriteFully(fd_, buffer_.data(), allowed, path_));
+  if (!injected.ok()) {
+    // A torn write leaves the prefix on disk; the tail is lost.
+    buffer_.clear();
+    return injected;
   }
   if (metrics_ != nullptr) metrics_->AddDiskWrite(buffer_.size());
   buffer_.clear();
@@ -121,6 +132,7 @@ Status RandomAccessFile::Open(const std::string& path, WorkerMetrics* metrics,
 RandomAccessFile::~RandomAccessFile() { ::close(fd_); }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("io.file.read"));
   size_t done = 0;
   while (done < n) {
     ssize_t r = ::pread(fd_, scratch + done, n - done,
@@ -140,9 +152,11 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
 }
 
 Status RandomAccessFile::Write(uint64_t offset, const Slice& data) {
+  size_t allowed = data.size();
+  Status injected = fault::MaybeFailWrite("io.file.pwrite", &allowed);
   size_t done = 0;
-  while (done < data.size()) {
-    ssize_t r = ::pwrite(fd_, data.data() + done, data.size() - done,
+  while (done < allowed) {
+    ssize_t r = ::pwrite(fd_, data.data() + done, allowed - done,
                          static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -150,6 +164,7 @@ Status RandomAccessFile::Write(uint64_t offset, const Slice& data) {
     }
     done += static_cast<size_t>(r);
   }
+  PREGELIX_RETURN_NOT_OK(injected);
   if (offset + data.size() > size_) size_ = offset + data.size();
   if (metrics_ != nullptr) metrics_->AddDiskWrite(data.size());
   return Status::OK();
@@ -193,9 +208,40 @@ Status WriteStringToFileAtomic(const std::string& path,
     PREGELIX_RETURN_NOT_OK(file->Append(contents));
     PREGELIX_RETURN_NOT_OK(file->Close());
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError(ErrnoMessage("rename " + tmp));
+  return RenameFile(tmp, path);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("io.file.rename"));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename " + from + " -> " + to));
   }
+  return Status::OK();
+}
+
+Status ChecksumFile(const std::string& path, uint64_t* checksum) {
+  uint64_t size = 0;
+  PREGELIX_RETURN_NOT_OK(GetFileSize(path, &size));
+  std::unique_ptr<RandomAccessFile> file;
+  PREGELIX_RETURN_NOT_OK(RandomAccessFile::Open(path, nullptr, &file));
+  uint64_t h = 14695981039346656037ull;
+  std::string chunk(64 * 1024, '\0');
+  for (uint64_t offset = 0; offset < size;) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(chunk.size(), size - offset));
+    PREGELIX_RETURN_NOT_OK(file->Read(offset, n, chunk.data()));
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<uint8_t>(chunk[i]);
+      h *= 1099511628211ull;
+    }
+    offset += n;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  *checksum = h;
   return Status::OK();
 }
 

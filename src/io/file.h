@@ -90,6 +90,14 @@ Status ReadFileToString(const std::string& path, std::string* out);
 /// Atomically replaces `path` with `contents` (write temp + rename).
 Status WriteStringToFileAtomic(const std::string& path, const Slice& contents);
 
+/// Renames `from` to `to` (atomic within a filesystem). Fault point
+/// "io.file.rename".
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Streams the file through a 64-bit FNV-1a hash (with a final avalanche).
+/// Used by checkpoint manifests to detect torn or corrupted snapshot files.
+Status ChecksumFile(const std::string& path, uint64_t* checksum);
+
 }  // namespace pregelix
 
 #endif  // PREGELIX_IO_FILE_H_

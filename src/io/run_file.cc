@@ -1,5 +1,6 @@
 #include "io/run_file.h"
 
+#include "common/fault_injection.h"
 #include "common/serde.h"
 
 namespace pregelix {
@@ -13,6 +14,7 @@ Status RunFileWriter::Open(const std::string& path, WorkerMetrics* metrics,
 }
 
 Status RunFileWriter::AppendBlock(const Slice& block) {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("io.run_file.append"));
   char header[4];
   EncodeFixed32(header, static_cast<uint32_t>(block.size()));
   PREGELIX_RETURN_NOT_OK(file_->Append(Slice(header, 4)));
@@ -33,6 +35,7 @@ Status RunFileReader::Open(const std::string& path, WorkerMetrics* metrics,
 
 Status RunFileReader::NextBlock(std::string* out) {
   if (AtEnd()) return Status::NotFound("eof");
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("io.run_file.read"));
   char header[4];
   PREGELIX_RETURN_NOT_OK(file_->Read(offset_, 4, header));
   const uint32_t len = DecodeFixed32(header);

@@ -62,6 +62,16 @@ struct PregelixJobConfig {
   int checkpoint_interval = 0;
   /// Safety valve; 0 = run until the global halt condition.
   int max_supersteps = 200;
+
+  /// Stable job identity on the DFS. Empty = derive a fresh unique id from
+  /// `name` (the default for fire-and-forget jobs). Set it to make the
+  /// job's checkpoints addressable across driver processes, which `resume`
+  /// needs.
+  std::string job_id;
+  /// Resume a crashed job: instead of loading the input, recover from the
+  /// newest valid checkpoint under jobs/<job_id>/ckpt (falling back to a
+  /// fresh load if none survives validation). Requires `job_id`.
+  bool resume = false;
 };
 
 }  // namespace pregelix

@@ -1,8 +1,11 @@
 #include "pregel/plans.h"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/serde.h"
 #include "common/temp_dir.h"
@@ -10,6 +13,7 @@
 #include "dataflow/ops/sort.h"
 #include "dataflow/tuple_run.h"
 #include "graph/text_io.h"
+#include "io/file.h"
 #include "pregel/vertex_format.h"
 #include "storage/btree.h"
 #include "storage/lsm_btree.h"
@@ -585,20 +589,30 @@ Status RunGlobalAggOp(JobRuntimeContext* ctx, TaskContext& task) {
   next.live_vertices = 0;
   std::string agg_acc = hooks.initial;
 
+  // Contributions arrive in frame-arrival order, which varies run to run.
+  // One tuple arrives per compute clone, keyed by partition id: buffer and
+  // sort them so the aggregator folds in partition order and float
+  // aggregates (e.g. PageRank's dangling mass) are bit-stable across runs.
   FrameTupleAccessor acc(2);
   std::string frame;
+  std::vector<std::pair<std::string, std::string>> contribs;
   while (task.input(0).Next(&frame)) {
     acc.Reset(Slice(frame));
     for (int t = 0; t < acc.tuple_count(); ++t) {
-      Contribution c;
-      PREGELIX_RETURN_NOT_OK(c.Decode(acc.field(t, 1)));
-      next.halt = next.halt && c.halt;
-      next.live_vertices += c.live;
-      if (hooks.valid() && c.has_aggregate) {
-        hooks.step(Slice(c.aggregate), &agg_acc);
-      }
-      task.metrics->AddCpuOps(1);
+      contribs.emplace_back(acc.field(t, 0).ToString(),
+                            acc.field(t, 1).ToString());
     }
+  }
+  std::sort(contribs.begin(), contribs.end());
+  for (const auto& [key, encoded] : contribs) {
+    Contribution c;
+    PREGELIX_RETURN_NOT_OK(c.Decode(Slice(encoded)));
+    next.halt = next.halt && c.halt;
+    next.live_vertices += c.live;
+    if (hooks.valid() && c.has_aggregate) {
+      hooks.step(Slice(c.aggregate), &agg_acc);
+    }
+    task.metrics->AddCpuOps(1);
   }
   if (hooks.valid()) {
     if (hooks.finish) hooks.finish(&agg_acc);
@@ -694,6 +708,7 @@ Status RunResolveOp(JobRuntimeContext* ctx, TaskContext& task) {
 // Dump / checkpoint / recovery operators
 
 Status RunDumpOp(JobRuntimeContext* ctx, TaskContext& task) {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("pregel.dump"));
   PartitionState& state = ctx->partitions[task.partition];
   std::unique_ptr<WritableFile> out;
   PREGELIX_RETURN_NOT_OK(ctx->dfs->OpenForWrite(
@@ -715,16 +730,39 @@ Status RunDumpOp(JobRuntimeContext* ctx, TaskContext& task) {
   return out->Close();
 }
 
+namespace {
+
+/// Installs `<dir>/<name>.tmp` as `<dir>/<name>` and records its size and
+/// checksum in the partition's manifest contribution. Snapshot writers
+/// target the .tmp name, so a crash mid-write never leaves a torn file
+/// under a committed name.
+Status CommitSnapshotFile(JobRuntimeContext* ctx, const std::string& dir,
+                          const std::string& name, PartitionState* state) {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("pregel.checkpoint.file"));
+  const std::string final_path = ctx->dfs->Resolve(dir + "/" + name);
+  PREGELIX_RETURN_NOT_OK(RenameFile(final_path + ".tmp", final_path));
+  PartitionState::CheckpointFileInfo info;
+  info.name = name;
+  PREGELIX_RETURN_NOT_OK(GetFileSize(final_path, &info.size));
+  PREGELIX_RETURN_NOT_OK(ChecksumFile(final_path, &info.checksum));
+  state->ckpt_files.push_back(std::move(info));
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RunCheckpointOp(JobRuntimeContext* ctx, TaskContext& task,
                        int64_t superstep) {
   PartitionState& state = ctx->partitions[task.partition];
   const std::string dir = CheckpointDir(*ctx, superstep);
   PREGELIX_RETURN_NOT_OK(ctx->dfs->MakeDirs(dir));
   const std::string suffix = "-part-" + std::to_string(task.partition);
+  state.ckpt_files.clear();
 
   // Vertex snapshot.
-  TupleRunWriter vertex_writer(ctx->dfs->Resolve(dir + "/vertex" + suffix),
-                               task.config->frame_size, 2, task.metrics);
+  TupleRunWriter vertex_writer(
+      ctx->dfs->Resolve(dir + "/vertex" + suffix) + ".tmp",
+      task.config->frame_size, 2, task.metrics);
   std::unique_ptr<IndexIterator> it = state.vertex_index->NewIterator();
   PREGELIX_RETURN_NOT_OK(it->SeekToFirst());
   while (it->Valid()) {
@@ -733,10 +771,12 @@ Status RunCheckpointOp(JobRuntimeContext* ctx, TaskContext& task,
     PREGELIX_RETURN_NOT_OK(it->Next());
   }
   PREGELIX_RETURN_NOT_OK(vertex_writer.Finish());
+  PREGELIX_RETURN_NOT_OK(
+      CommitSnapshotFile(ctx, dir, "vertex" + suffix, &state));
 
   // Msg snapshot (the checkpoint of Msg means user programs need not be
   // failure-aware, paper Section 5.5).
-  TupleRunWriter msg_writer(ctx->dfs->Resolve(dir + "/msg" + suffix),
+  TupleRunWriter msg_writer(ctx->dfs->Resolve(dir + "/msg" + suffix) + ".tmp",
                             task.config->frame_size, 2, task.metrics);
   TupleRunReader msg(state.msg_path, 2, task.metrics);
   PREGELIX_RETURN_NOT_OK(msg.Init());
@@ -746,11 +786,13 @@ Status RunCheckpointOp(JobRuntimeContext* ctx, TaskContext& task,
     PREGELIX_RETURN_NOT_OK(msg.Next());
   }
   PREGELIX_RETURN_NOT_OK(msg_writer.Finish());
+  PREGELIX_RETURN_NOT_OK(CommitSnapshotFile(ctx, dir, "msg" + suffix, &state));
 
   // Vid snapshot (left-outer plan): live set merged with resolve extras.
   if (ctx->MaintainsVid()) {
-    TupleRunWriter vid_writer(ctx->dfs->Resolve(dir + "/vid" + suffix),
-                              task.config->frame_size, 2, task.metrics);
+    TupleRunWriter vid_writer(
+        ctx->dfs->Resolve(dir + "/vid" + suffix) + ".tmp",
+        task.config->frame_size, 2, task.metrics);
     std::unique_ptr<IndexIterator> vid_it;
     if (state.vid_index != nullptr) {
       vid_it = state.vid_index->NewIterator();
@@ -777,6 +819,8 @@ Status RunCheckpointOp(JobRuntimeContext* ctx, TaskContext& task,
       }
     }
     PREGELIX_RETURN_NOT_OK(vid_writer.Finish());
+    PREGELIX_RETURN_NOT_OK(
+        CommitSnapshotFile(ctx, dir, "vid" + suffix, &state));
   }
   return Status::OK();
 }

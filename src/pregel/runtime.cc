@@ -1,9 +1,15 @@
 #include "pregel/runtime.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
+#include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/temp_dir.h"
 #include "common/trace.h"
 #include "dataflow/executor.h"
@@ -44,6 +50,17 @@ std::string GsPath(const JobRuntimeContext& ctx) {
   return "jobs/" + ctx.job_id + "/gs";
 }
 
+/// Writes the GS tuple to the DFS, retrying transient faults. This is the
+/// primary copy (paper Section 5.7); losing it silently would orphan the
+/// job, so it gets its own fault point and retry budget.
+Status WriteGs(DistributedFileSystem* dfs, const JobRuntimeContext& ctx,
+               const GlobalState& gs) {
+  return RetryTransient("gs.write", [&]() -> Status {
+    PREGELIX_RETURN_NOT_OK(fault::MaybeFail("pregel.gs.write"));
+    return dfs->Write(GsPath(ctx), gs.Encode());
+  });
+}
+
 }  // namespace
 
 PregelixRuntime::PregelixRuntime(SimulatedCluster* cluster,
@@ -60,11 +77,16 @@ Status PregelixRuntime::Run(PregelProgram* program,
   ctx.cluster = cluster_;
   ctx.dfs = dfs_;
   ctx.job_id =
-      config.name + "-" + std::to_string(g_job_counter.fetch_add(1));
+      config.job_id.empty()
+          ? config.name + "-" + std::to_string(g_job_counter.fetch_add(1))
+          : config.job_id;
   ctx.partitions.resize(cluster_->num_partitions());
   Status s = RunInternal(program, config, &ctx, /*do_load=*/true,
                          /*do_dump=*/!config.output_dir.empty(), result);
-  Cleanup(&ctx);
+  // A failed job keeps its DFS state (GS + checkpoints): with a stable
+  // job_id, a later Run with resume=true picks up from the newest valid
+  // checkpoint instead of re-running lost supersteps from the input.
+  Cleanup(&ctx, /*keep_dfs=*/!s.ok() && !config.job_id.empty());
   return s;
 }
 
@@ -87,20 +109,38 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     }
     gs.live_vertices = gs.num_vertices;
     ctx->gs = gs;
-    return dfs_->Write(GsPath(*ctx), gs.Encode());
+    return WriteGs(dfs_, *ctx, gs);
   };
 
-  if (do_load) {
+  auto load_from_input = [&]() -> Status {
     TraceSpan span(cluster_->tracer(), "pregel.load", trace_cat::kPregel,
                    kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
     JobSpec load = BuildLoadJob(ctx);
     PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, load, ctx));
-    result->load_sim_seconds = SimulatedStepSeconds(
+    result->load_sim_seconds += SimulatedStepSeconds(
         Delta(before, cluster_->SnapshotAll()), cost_params_);
     PREGELIX_RETURN_NOT_OK(init_gs_after_load());
     span.AddArg("vertices", ctx->gs.num_vertices);
     span.AddArg("edges", ctx->gs.num_edges);
+    return Status::OK();
+  };
+
+  if (do_load) {
+    if (config.resume) {
+      // Crash restart: rebuild local state from the newest valid checkpoint
+      // of this job_id; if none survives validation, load from scratch.
+      int64_t resume = 0;
+      bool restart = false;
+      PREGELIX_RETURN_NOT_OK(Recover(ctx, &resume, &restart));
+      if (restart) {
+        PREGELIX_RETURN_NOT_OK(load_from_input());
+      } else {
+        ++result->recoveries;
+      }
+    } else {
+      PREGELIX_RETURN_NOT_OK(load_from_input());
+    }
   }
 
   int64_t last_checkpoint = -1;
@@ -108,6 +148,10 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     const int64_t superstep = ctx->gs.superstep + 1;
     if (config.max_supersteps > 0 && superstep > config.max_supersteps) {
       break;
+    }
+    // Superstep-scoped fault specs key off this; free when nothing is armed.
+    if (fault::FaultInjector::Global().any_armed()) {
+      fault::FaultInjector::Global().SetScope(superstep);
     }
 
     // --- Failure injection + failure manager (paper Section 5.5) ---------
@@ -190,10 +234,7 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
       TraceSpan ckpt_span(cluster_->tracer(), "pregel.checkpoint",
                           trace_cat::kPregel, kTraceDriverWorker);
       ckpt_span.AddArg("superstep", superstep);
-      JobSpec ckpt = BuildCheckpointJob(ctx, superstep);
-      PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, ckpt, ctx));
-      PREGELIX_RETURN_NOT_OK(dfs_->Write(
-          CheckpointDir(*ctx, superstep) + "/gs", ctx->gs.Encode()));
+      PREGELIX_RETURN_NOT_OK(WriteCheckpoint(ctx, superstep));
       last_checkpoint = superstep;
     }
     (void)last_checkpoint;
@@ -205,8 +246,12 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     TraceSpan span(cluster_->tracer(), "pregel.dump", trace_cat::kPregel,
                    kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
-    JobSpec dump = BuildDumpJob(ctx);
-    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, dump, ctx));
+    // The dump only reads the vertex index and truncates its output files
+    // on open, so re-running it after a transient fault is idempotent.
+    PREGELIX_RETURN_NOT_OK(RetryTransient("dump", [&]() -> Status {
+      JobSpec dump = BuildDumpJob(ctx);
+      return RunJob(*cluster_, dump, ctx);
+    }));
     result->dump_sim_seconds = SimulatedStepSeconds(
         Delta(before, cluster_->SnapshotAll()), cost_params_);
   }
@@ -259,35 +304,177 @@ Status PregelixRuntime::AdvanceGlobalState(JobRuntimeContext* ctx) {
     }
   }
   ctx->gs = gs;
-  return dfs_->Write(GsPath(*ctx), gs.Encode());
+  return WriteGs(dfs_, *ctx, gs);
+}
+
+Status PregelixRuntime::WriteCheckpoint(JobRuntimeContext* ctx,
+                                        int64_t superstep) {
+  // The snapshot ops only read runtime state and write checkpoint files
+  // (installed via temp + rename), so the whole sequence can be retried on
+  // transient faults. The MANIFEST is written last: it is the commit
+  // point, and recovery ignores any checkpoint without a valid one.
+  return RetryTransient("checkpoint", [&]() -> Status {
+    JobSpec ckpt = BuildCheckpointJob(ctx, superstep);
+    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, ckpt, ctx));
+    const std::string dir = CheckpointDir(*ctx, superstep);
+    const std::string gs_encoded = ctx->gs.Encode();
+    PREGELIX_RETURN_NOT_OK(fault::MaybeFail("pregel.gs.write"));
+    PREGELIX_RETURN_NOT_OK(dfs_->Write(dir + "/gs", gs_encoded));
+
+    std::string manifest;
+    manifest += "superstep " + std::to_string(superstep) + "\n";
+    manifest +=
+        "partitions " + std::to_string(ctx->partitions.size()) + "\n";
+    manifest += "gs " + std::to_string(gs_encoded.size()) + " " +
+                std::to_string(Hash64(gs_encoded.data(), gs_encoded.size())) +
+                "\n";
+    for (const PartitionState& p : ctx->partitions) {
+      for (const auto& f : p.ckpt_files) {
+        manifest += "file " + f.name + " " + std::to_string(f.size) + " " +
+                    std::to_string(f.checksum) + "\n";
+      }
+    }
+    PREGELIX_RETURN_NOT_OK(fault::MaybeFail("pregel.checkpoint.manifest"));
+    return dfs_->Write(dir + "/MANIFEST", manifest);
+  });
+}
+
+Status PregelixRuntime::ValidateCheckpoint(JobRuntimeContext* ctx,
+                                           int64_t superstep) {
+  const std::string dir = CheckpointDir(*ctx, superstep);
+  if (!dfs_->Exists(dir + "/MANIFEST")) {
+    return Status::NotFound("checkpoint " + std::to_string(superstep) +
+                            " has no manifest (crash before commit)");
+  }
+  std::string manifest;
+  PREGELIX_RETURN_NOT_OK(dfs_->Read(dir + "/MANIFEST", &manifest));
+
+  int64_t manifest_superstep = -1;
+  size_t manifest_partitions = 0;
+  uint64_t gs_size = 0, gs_checksum = 0;
+  size_t files_listed = 0;
+  size_t pos = 0;
+  while (pos < manifest.size()) {
+    size_t eol = manifest.find('\n', pos);
+    if (eol == std::string::npos) eol = manifest.size();
+    const std::string line = manifest.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    char name[256];
+    long long step = 0;
+    if (std::sscanf(line.c_str(), "superstep %lld", &step) == 1) {
+      manifest_superstep = step;
+      continue;
+    }
+    unsigned long long a = 0, b = 0;
+    if (std::sscanf(line.c_str(), "partitions %llu", &a) == 1) {
+      manifest_partitions = static_cast<size_t>(a);
+      continue;
+    }
+    if (std::sscanf(line.c_str(), "gs %llu %llu", &a, &b) == 2) {
+      gs_size = a;
+      gs_checksum = b;
+      continue;
+    }
+    if (std::sscanf(line.c_str(), "file %255s %llu %llu", name, &a, &b) ==
+        3) {
+      ++files_listed;
+      const std::string rel = dir + "/" + name;
+      if (!dfs_->Exists(rel)) {
+        return Status::Corruption("checkpoint file missing: " + rel);
+      }
+      uint64_t size = 0;
+      PREGELIX_RETURN_NOT_OK(GetFileSize(dfs_->Resolve(rel), &size));
+      if (size != a) {
+        return Status::Corruption(
+            "checkpoint file " + rel + " torn: size " + std::to_string(size) +
+            " != manifest " + std::to_string(a));
+      }
+      uint64_t checksum = 0;
+      PREGELIX_RETURN_NOT_OK(ChecksumFile(dfs_->Resolve(rel), &checksum));
+      if (checksum != b) {
+        return Status::Corruption("checkpoint file " + rel +
+                                  " checksum mismatch");
+      }
+      continue;
+    }
+    return Status::Corruption("unparseable manifest line: " + line);
+  }
+  if (manifest_superstep != superstep) {
+    return Status::Corruption(
+        "manifest superstep " + std::to_string(manifest_superstep) +
+        " != dir " + std::to_string(superstep));
+  }
+  if (manifest_partitions != ctx->partitions.size()) {
+    return Status::Corruption(
+        "manifest partitions " + std::to_string(manifest_partitions) +
+        " != cluster " + std::to_string(ctx->partitions.size()));
+  }
+  // Snapshots cover at least vertex+msg per partition (and vid for
+  // left-outer-capable jobs).
+  if (files_listed < 2 * ctx->partitions.size()) {
+    return Status::Corruption("manifest lists " +
+                              std::to_string(files_listed) +
+                              " files; expected >= " +
+                              std::to_string(2 * ctx->partitions.size()));
+  }
+  std::string gs_encoded;
+  PREGELIX_RETURN_NOT_OK(dfs_->Read(dir + "/gs", &gs_encoded));
+  if (gs_encoded.size() != gs_size ||
+      Hash64(gs_encoded.data(), gs_encoded.size()) != gs_checksum) {
+    return Status::Corruption("checkpoint gs torn at superstep " +
+                              std::to_string(superstep));
+  }
+  return Status::OK();
 }
 
 Status PregelixRuntime::Recover(JobRuntimeContext* ctx,
                                 int64_t* resume_superstep,
                                 bool* restart_from_load) {
-  // Find the newest checkpoint at or below the last completed superstep.
-  for (int64_t s = ctx->gs.superstep; s >= 1; --s) {
-    const std::string gs_file = CheckpointDir(*ctx, s) + "/gs";
-    if (!dfs_->Exists(gs_file)) continue;
+  // List the checkpoints this job left on the DFS (newest first). Listing —
+  // rather than counting down from the in-memory GS — lets a fresh driver
+  // process resume a job whose in-memory state is gone.
+  std::vector<int64_t> candidates;
+  const std::string ckpt_root = "jobs/" + ctx->job_id + "/ckpt";
+  if (dfs_->Exists(ckpt_root)) {
+    std::vector<std::string> entries;
+    PREGELIX_RETURN_NOT_OK(dfs_->List(ckpt_root, &entries));
+    for (const std::string& e : entries) {
+      if (!e.empty() && e.find_first_not_of("0123456789") == std::string::npos) {
+        candidates.push_back(std::strtoll(e.c_str(), nullptr, 10));
+      }
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+
+  for (int64_t s : candidates) {
+    Status valid = ValidateCheckpoint(ctx, s);
+    if (!valid.ok()) {
+      PLOG(Warn) << "checkpoint " << s
+                 << " rejected, falling back: " << valid.ToString();
+      continue;
+    }
     PLOG(Info) << "recovering from checkpoint at superstep " << s;
     JobSpec recovery = BuildRecoveryJob(ctx, s);
     PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, recovery, ctx));
+    const std::string gs_file = CheckpointDir(*ctx, s) + "/gs";
     std::string encoded;
     PREGELIX_RETURN_NOT_OK(dfs_->Read(gs_file, &encoded));
     GlobalState gs;
     PREGELIX_RETURN_NOT_OK(gs.Decode(encoded));
     ctx->gs = gs;
+    PREGELIX_RETURN_NOT_OK(WriteGs(dfs_, *ctx, gs));
     *resume_superstep = s + 1;
     *restart_from_load = false;
     return Status::OK();
   }
-  PLOG(Info) << "no checkpoint found; restarting from load";
+  PLOG(Info) << "no valid checkpoint found; restarting from load";
   *restart_from_load = true;
   *resume_superstep = 1;
   return Status::OK();
 }
 
-void PregelixRuntime::Cleanup(JobRuntimeContext* ctx) {
+void PregelixRuntime::Cleanup(JobRuntimeContext* ctx, bool keep_dfs) {
   for (int p = 0; p < static_cast<int>(ctx->partitions.size()); ++p) {
     PartitionState& state = ctx->partitions[p];
     state.vertex_index.reset();
@@ -295,6 +482,7 @@ void PregelixRuntime::Cleanup(JobRuntimeContext* ctx) {
     state.next_vid_index.reset();
     RemoveAll(ctx->PartitionDir(p));
   }
+  if (keep_dfs) return;  // a resumable job's checkpoints must survive
   Status s = dfs_->DeleteRecursive("jobs/" + ctx->job_id);
   if (!s.ok()) {
     PLOG(Warn) << "job dir cleanup failed: " << s.ToString();

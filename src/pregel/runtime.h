@@ -81,13 +81,30 @@ class PregelixRuntime {
   /// into GS, writes GS to the DFS.
   Status AdvanceGlobalState(JobRuntimeContext* ctx);
 
-  /// The failure manager: recover from the newest checkpoint <= the current
-  /// superstep, or signal that a restart-from-load is needed.
+  /// The failure manager: recover from the newest *valid* checkpoint (the
+  /// ckpt directory is listed and each candidate's MANIFEST is verified —
+  /// superstep id, file sizes, per-file checksums — before any state is
+  /// loaded), or signal that a restart-from-load is needed.
   Status Recover(JobRuntimeContext* ctx, int64_t* resume_superstep,
                  bool* restart_from_load);
 
-  /// Releases all per-partition storage of a finished job.
-  void Cleanup(JobRuntimeContext* ctx);
+  /// Verifies the MANIFEST of the checkpoint at `superstep`: present,
+  /// matching superstep id and partition count, every snapshot file present
+  /// with the recorded size and checksum, GS intact. Returns Corruption
+  /// (torn or damaged state) or NotFound (incomplete checkpoint: the crash
+  /// happened before the manifest commit) — never trusts a dir just
+  /// because it exists.
+  Status ValidateCheckpoint(JobRuntimeContext* ctx, int64_t superstep);
+
+  /// Commits a checkpoint: snapshot job, GS write, then the MANIFEST write
+  /// as the atomic commit point. Transient I/O errors are retried with
+  /// backoff.
+  Status WriteCheckpoint(JobRuntimeContext* ctx, int64_t superstep);
+
+  /// Releases all per-partition storage of a finished job. `keep_dfs` keeps
+  /// the job's DFS directory (GS + checkpoints) so a crashed job can be
+  /// resumed by a later Run with the same job_id.
+  void Cleanup(JobRuntimeContext* ctx, bool keep_dfs = false);
 
   /// Between pipelined jobs: reactivate vertices, clear Msg, rebuild Vid.
   Status PrepareNextPipelinedJob(JobRuntimeContext* ctx);

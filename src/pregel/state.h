@@ -56,6 +56,16 @@ struct PartitionState {
   // Exact vertex/edge bookkeeping (set by load, adjusted by resolve).
   int64_t vertices = 0;
   int64_t edges = 0;
+
+  /// Snapshot files this partition contributed to the checkpoint in flight;
+  /// the driver folds them into the checkpoint MANIFEST (the commit record
+  /// recovery validates before trusting a checkpoint).
+  struct CheckpointFileInfo {
+    std::string name;  ///< file name within the checkpoint dir
+    uint64_t size = 0;
+    uint64_t checksum = 0;
+  };
+  std::vector<CheckpointFileInfo> ckpt_files;
 };
 
 /// Shared context handed to every operator clone of a Pregelix job through

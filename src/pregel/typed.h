@@ -293,14 +293,18 @@ class TypedProgramAdapter : public PregelProgram {
     output->voted_halt = vertex.halt_;
     output->vertex_dirty = vertex.dirty_ || !input.vertex_exists;
     if (output->vertex_dirty) {
-      output->vertex_bytes =
+      // Compare before storing: input.vertex_bytes may alias the caller's
+      // reused output->vertex_bytes buffer, so assigning first would free
+      // the very bytes being compared.
+      std::string encoded =
           VertexT::EncodeTyped(vertex.halt_, vertex.value_, vertex.edges_);
       // Avoid pointless churn when re-encoding produced identical bytes.
-      if (input.vertex_exists &&
-          output->vertex_bytes.size() == original_size &&
-          Slice(output->vertex_bytes) == input.vertex_bytes) {
+      if (input.vertex_exists && encoded.size() == original_size &&
+          Slice(encoded) == input.vertex_bytes) {
         output->vertex_dirty = false;
         output->vertex_bytes.clear();
+      } else {
+        output->vertex_bytes = std::move(encoded);
       }
     }
     output->messages.reserve(vertex.messages_.size());

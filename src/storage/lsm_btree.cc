@@ -5,14 +5,17 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/temp_dir.h"
+#include "io/file.h"
 
 namespace pregelix {
 
 namespace {
 constexpr char kPutMarker = 0;
 constexpr char kTombstoneMarker = 1;
+constexpr char kCurrentFile[] = "CURRENT";
 }  // namespace
 
 LsmBTree::LsmBTree(BufferCache* cache, std::string dir, size_t budget)
@@ -42,9 +45,12 @@ Status LsmBTree::Open(BufferCache* cache, const std::string& dir,
     lsm->inserts_ = cache->registry()->GetCounter("pregelix.storage.inserts",
                                                   labels);
   }
-  // Recover existing disk components (newest = highest id first). Component
-  // files are immutable once their bulk load finished, so reopening is just
-  // re-attaching them.
+  // Recover disk components. The CURRENT manifest is the commit record: it
+  // lists the ids of live components newest-first, and is rewritten
+  // atomically (temp + rename) at the end of every flush/merge/bulk load.
+  // Component files on disk but absent from CURRENT are debris from a crash
+  // mid-flush or mid-merge and are deleted here; attaching them blindly
+  // could surface torn pages or resurrect deleted keys.
   std::vector<std::pair<uint64_t, std::string>> found;
   std::error_code ec;
   for (std::filesystem::directory_iterator it(dir, ec), end;
@@ -54,21 +60,63 @@ Status LsmBTree::Open(BufferCache* cache, const std::string& dir,
         name.substr(name.size() - 6) == ".btree") {
       const uint64_t id = std::strtoull(name.c_str() + 1, nullptr, 10);
       found.emplace_back(id, it->path().string());
+      lsm->next_component_id_ = std::max(lsm->next_component_id_, id + 1);
     }
   }
-  std::sort(found.rbegin(), found.rend());  // newest first
-  for (const auto& [id, path] : found) {
+  const std::string current_path = dir + "/" + kCurrentFile;
+  std::vector<uint64_t> live;
+  if (FileExists(current_path)) {
+    std::string manifest;
+    PREGELIX_RETURN_NOT_OK(ReadFileToString(current_path, &manifest));
+    size_t pos = 0;
+    while (pos < manifest.size()) {
+      size_t eol = manifest.find('\n', pos);
+      if (eol == std::string::npos) eol = manifest.size();
+      if (eol > pos) {
+        live.push_back(std::strtoull(manifest.c_str() + pos, nullptr, 10));
+      }
+      pos = eol + 1;
+    }
+  } else {
+    // Legacy dir (or pre-crash-consistency data): every component is live,
+    // newest first.
+    std::sort(found.rbegin(), found.rend());
+    for (const auto& [id, path] : found) live.push_back(id);
+  }
+  for (uint64_t id : live) {
+    auto it = std::find_if(found.begin(), found.end(),
+                           [id](const auto& f) { return f.first == id; });
+    if (it == found.end()) {
+      return Status::Corruption("lsm CURRENT references missing component c" +
+                                std::to_string(id) + ".btree in " + dir);
+    }
     std::unique_ptr<BTree> component;
-    PREGELIX_RETURN_NOT_OK(BTree::Open(cache, path, &component));
+    PREGELIX_RETURN_NOT_OK(BTree::Open(cache, it->second, &component));
     lsm->components_.push_back(std::move(component));
-    lsm->next_component_id_ = std::max(lsm->next_component_id_, id + 1);
+    lsm->component_ids_.push_back(id);
+  }
+  for (const auto& [id, path] : found) {
+    if (std::find(live.begin(), live.end(), id) == live.end()) {
+      PLOG(Info) << "lsm: deleting orphan component " << path;
+      DeleteFileIfExists(path);
+    }
   }
   *out = std::move(lsm);
   return Status::OK();
 }
 
-std::string LsmBTree::NextComponentPath() {
-  return dir_ + "/c" + std::to_string(next_component_id_++) + ".btree";
+std::string LsmBTree::ComponentPath(uint64_t id) const {
+  return dir_ + "/c" + std::to_string(id) + ".btree";
+}
+
+Status LsmBTree::WriteCurrent(const char* fault_point) {
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail(fault_point));
+  std::string manifest;
+  for (uint64_t id : component_ids_) {
+    manifest += std::to_string(id);
+    manifest += '\n';
+  }
+  return WriteStringToFileAtomic(dir_ + "/" + kCurrentFile, manifest);
 }
 
 Status LsmBTree::Write(const Slice& key, const Slice& value, bool tombstone) {
@@ -124,14 +172,30 @@ Status LsmBTree::FlushMemtable() {
                  cache_->worker_id());
   span.AddArg("entries", static_cast<int64_t>(memtable_.size()));
   span.AddArg("bytes", static_cast<int64_t>(memtable_bytes_));
+  const uint64_t id = next_component_id_++;
   std::unique_ptr<BTree> component;
-  PREGELIX_RETURN_NOT_OK(BTree::Open(cache_, NextComponentPath(), &component));
+  PREGELIX_RETURN_NOT_OK(BTree::Open(cache_, ComponentPath(id), &component));
   std::unique_ptr<IndexBulkLoader> loader = component->NewBulkLoader();
   for (const auto& [key, stored] : memtable_) {
     PREGELIX_RETURN_NOT_OK(loader->Add(key, stored));
   }
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("lsm.flush"));
   PREGELIX_RETURN_NOT_OK(loader->Finish());
+  // Make the component durable before committing it: CURRENT must never
+  // reference pages still sitting dirty in the cache. On any failure before
+  // the commit the memtable stays intact (a retry re-flushes everything)
+  // and the half-built file is an orphan that reopen deletes.
+  PREGELIX_RETURN_NOT_OK(component->Flush());
   components_.insert(components_.begin(), std::move(component));
+  component_ids_.insert(component_ids_.begin(), id);
+  Status commit = WriteCurrent("lsm.flush.commit");
+  if (!commit.ok()) {
+    Status d = components_.front()->Destroy();
+    (void)d;  // best effort: reopen also sweeps orphans
+    components_.erase(components_.begin());
+    component_ids_.erase(component_ids_.begin());
+    return commit;
+  }
   memtable_.clear();
   memtable_bytes_ = 0;
   if (static_cast<int>(components_.size()) > kMaxComponents) {
@@ -170,8 +234,9 @@ Status LsmBTree::MergeAll() {
     cursors.push_back(std::move(c));
   }
 
+  const uint64_t merged_id = next_component_id_++;
   std::unique_ptr<BTree> merged;
-  PREGELIX_RETURN_NOT_OK(BTree::Open(cache_, NextComponentPath(), &merged));
+  PREGELIX_RETURN_NOT_OK(BTree::Open(cache_, ComponentPath(merged_id), &merged));
   std::unique_ptr<IndexBulkLoader> loader = merged->NewBulkLoader();
 
   for (;;) {
@@ -203,14 +268,33 @@ Status LsmBTree::MergeAll() {
     }
     PREGELIX_RETURN_NOT_OK(loader->Add(key, stored));
   }
+  PREGELIX_RETURN_NOT_OK(fault::MaybeFail("lsm.merge"));
   PREGELIX_RETURN_NOT_OK(loader->Finish());
+  PREGELIX_RETURN_NOT_OK(merged->Flush());
 
+  // Commit: CURRENT flips to the merged component alone, *then* the old
+  // components are deleted. A crash before the flip keeps the old stack
+  // (merged file becomes an orphan); a crash after it keeps only the merged
+  // component (the stale files become orphans). Neither order loses keys or
+  // resurrects tombstoned ones.
   cursors.clear();
-  for (auto& component : components_) {
-    PREGELIX_RETURN_NOT_OK(component->Destroy());
-  }
+  std::vector<std::unique_ptr<BTree>> old = std::move(components_);
+  std::vector<uint64_t> old_ids = std::move(component_ids_);
   components_.clear();
   components_.push_back(std::move(merged));
+  component_ids_.assign(1, merged_id);
+  Status commit = WriteCurrent("lsm.merge.commit");
+  if (!commit.ok()) {
+    // Roll back in memory; the merged file is an orphan for reopen to sweep.
+    Status d = components_.front()->Destroy();
+    (void)d;
+    components_ = std::move(old);
+    component_ids_ = std::move(old_ids);
+    return commit;
+  }
+  for (auto& component : old) {
+    PREGELIX_RETURN_NOT_OK(component->Destroy());
+  }
   tombstones_ = 0;
   return Status::OK();
 }
@@ -238,7 +322,9 @@ Status LsmBTree::Destroy() {
     if (!s.ok() && result.ok()) result = s;
   }
   components_.clear();
+  component_ids_.clear();
   memtable_.clear();
+  DeleteFileIfExists(dir_ + "/" + kCurrentFile);
   return result;
 }
 
@@ -344,9 +430,12 @@ std::unique_ptr<IndexIterator> LsmBTree::NewIterator() {
 
 class LsmBulkLoader : public IndexBulkLoader {
  public:
-  LsmBulkLoader(LsmBTree* lsm, std::unique_ptr<BTree> component,
+  LsmBulkLoader(LsmBTree* lsm, uint64_t id, std::unique_ptr<BTree> component,
                 std::unique_ptr<IndexBulkLoader> inner)
-      : lsm_(lsm), component_(std::move(component)), inner_(std::move(inner)) {}
+      : lsm_(lsm),
+        id_(id),
+        component_(std::move(component)),
+        inner_(std::move(inner)) {}
 
   Status Add(const Slice& key, const Slice& value) override {
     std::string stored;
@@ -358,23 +447,33 @@ class LsmBulkLoader : public IndexBulkLoader {
 
   Status Finish() override {
     PREGELIX_RETURN_NOT_OK(inner_->Finish());
-    lsm_->components_.insert(lsm_->components_.begin(),
-                             std::move(component_));
-    return Status::OK();
+    PREGELIX_RETURN_NOT_OK(component_->Flush());
+    lsm_->components_.insert(lsm_->components_.begin(), std::move(component_));
+    lsm_->component_ids_.insert(lsm_->component_ids_.begin(), id_);
+    Status commit = lsm_->WriteCurrent("lsm.flush.commit");
+    if (!commit.ok()) {
+      Status d = lsm_->components_.front()->Destroy();
+      (void)d;
+      lsm_->components_.erase(lsm_->components_.begin());
+      lsm_->component_ids_.erase(lsm_->component_ids_.begin());
+    }
+    return commit;
   }
 
  private:
   LsmBTree* lsm_;
+  uint64_t id_;
   std::unique_ptr<BTree> component_;
   std::unique_ptr<IndexBulkLoader> inner_;
 };
 
 std::unique_ptr<IndexBulkLoader> LsmBTree::NewBulkLoader() {
+  const uint64_t id = next_component_id_++;
   std::unique_ptr<BTree> component;
-  Status s = BTree::Open(cache_, NextComponentPath(), &component);
+  Status s = BTree::Open(cache_, ComponentPath(id), &component);
   PREGELIX_CHECK(s.ok()) << s.ToString();
   std::unique_ptr<IndexBulkLoader> inner = component->NewBulkLoader();
-  return std::make_unique<LsmBulkLoader>(this, std::move(component),
+  return std::make_unique<LsmBulkLoader>(this, id, std::move(component),
                                          std::move(inner));
 }
 

@@ -68,7 +68,13 @@ class LsmBTree : public OrderedIndex {
   LsmBTree(BufferCache* cache, std::string dir, size_t budget);
 
   Status Write(const Slice& key, const Slice& value, bool tombstone);
-  std::string NextComponentPath();
+  std::string ComponentPath(uint64_t id) const;
+
+  /// Atomically rewrites the CURRENT manifest to list `component_ids_`
+  /// (newest first). This is the commit point of flush/merge/bulk-load: a
+  /// component not listed in CURRENT does not exist after reopen.
+  /// `fault_point` names the injection point evaluated before the write.
+  Status WriteCurrent(const char* fault_point);
 
   BufferCache* cache_;
   // Cached registry counters (null without an attached registry). Labeled
@@ -81,8 +87,10 @@ class LsmBTree : public OrderedIndex {
 
   /// Entries carry a 1-byte marker prefix: 0 = put, 1 = tombstone.
   std::map<std::string, std::string> memtable_;
-  /// Disk components, newest first.
+  /// Disk components, newest first. `component_ids_` is kept in lockstep
+  /// and backs the CURRENT manifest.
   std::vector<std::unique_ptr<BTree>> components_;
+  std::vector<uint64_t> component_ids_;
   uint64_t next_component_id_ = 0;
   uint64_t tombstones_ = 0;
   bool destroyed_ = false;
