@@ -56,15 +56,23 @@ BufferCache::BufferCache(size_t page_size, size_t capacity_pages,
 }
 
 BufferCache::~BufferCache() {
-  for (size_t i = 0; i < files_.size(); ++i) {
-    if (files_[i].open) {
-      CloseFile(static_cast<int>(i));
+  size_t num_files;
+  {
+    MutexLock lock(&mutex_);
+    num_files = files_.size();
+  }
+  // CloseFile is a no-op on already-closed ids, so closing every id in
+  // order flushes exactly the still-open files.
+  for (size_t i = 0; i < num_files; ++i) {
+    Status s = CloseFile(static_cast<int>(i));
+    if (!s.ok()) {
+      PLOG(Warn) << "buffer cache close on destruction: " << s.ToString();
     }
   }
 }
 
 Status BufferCache::OpenFile(const std::string& path, int* file_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   FileEntry entry;
   PREGELIX_RETURN_NOT_OK(RandomAccessFile::Open(path, metrics_, &entry.file));
   entry.num_pages = static_cast<uint32_t>(entry.file->size() / page_size_);
@@ -84,7 +92,7 @@ Status BufferCache::OpenFile(const std::string& path, int* file_id) {
 }
 
 Status BufferCache::CloseFile(int file_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_CHECK(file_id >= 0 && file_id < static_cast<int>(files_.size()));
   FileEntry& entry = files_[file_id];
   if (!entry.open) return Status::OK();
@@ -116,7 +124,7 @@ Status BufferCache::CloseFile(int file_id) {
 Status BufferCache::DeleteFile(int file_id) {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PREGELIX_CHECK(file_id >= 0 && file_id < static_cast<int>(files_.size()));
     FileEntry& entry = files_[file_id];
     if (!entry.open) return Status::OK();
@@ -142,7 +150,7 @@ Status BufferCache::DeleteFile(int file_id) {
 }
 
 uint32_t BufferCache::NumPages(int file_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_CHECK(file_id >= 0 && file_id < static_cast<int>(files_.size()));
   return files_[file_id].num_pages;
 }
@@ -258,7 +266,7 @@ Status BufferCache::PinExistingOrLoadLocked(int file_id, PageId page,
 }
 
 Status BufferCache::Pin(int file_id, PageId page, PageHandle* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_CHECK(file_id >= 0 && file_id < static_cast<int>(files_.size()) &&
                  files_[file_id].open);
   if (page >= files_[file_id].num_pages) {
@@ -269,7 +277,7 @@ Status BufferCache::Pin(int file_id, PageId page, PageHandle* out) {
 }
 
 Status BufferCache::AllocatePage(int file_id, PageHandle* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_CHECK(file_id >= 0 && file_id < static_cast<int>(files_.size()) &&
                  files_[file_id].open);
   FileEntry& entry = files_[file_id];
@@ -283,7 +291,7 @@ Status BufferCache::AllocatePage(int file_id, PageHandle* out) {
 }
 
 Status BufferCache::FlushFile(int file_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_CHECK(file_id >= 0 && file_id < static_cast<int>(files_.size()) &&
                  files_[file_id].open);
   for (Slot& slot : slots_) {
@@ -295,7 +303,7 @@ Status BufferCache::FlushFile(int file_id) {
 }
 
 void BufferCache::Unpin(int slot_idx, bool dirty) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Slot& slot = slots_[slot_idx];
   PREGELIX_CHECK(slot.valid && slot.pin_count > 0);
   if (dirty) slot.dirty = true;
@@ -320,7 +328,7 @@ void BufferCache::PublishMetrics(MetricsRegistry* registry) const {
 }
 
 size_t BufferCache::pages_in_use() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t n = 0;
   for (const Slot& slot : slots_) {
     if (slot.valid) ++n;

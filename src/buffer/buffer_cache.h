@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/metrics_registry.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "io/file.h"
 
@@ -163,12 +164,11 @@ class BufferCache {
 
   void Unpin(int slot, bool dirty);
 
-  // All Locked methods require mutex_ held.
-  Status GetFreeSlotLocked(int* slot_out);
-  Status WriteBackLocked(Slot& slot);
+  Status GetFreeSlotLocked(int* slot_out) REQUIRES(mutex_);
+  Status WriteBackLocked(Slot& slot) REQUIRES(mutex_);
   Status PinExistingOrLoadLocked(int file_id, PageId page, bool load,
-                                 PageHandle* out);
-  void TouchLocked(int slot);
+                                 PageHandle* out) REQUIRES(mutex_);
+  void TouchLocked(int slot) REQUIRES(mutex_);
 
   const size_t page_size_;
   const size_t capacity_pages_;
@@ -177,11 +177,12 @@ class BufferCache {
   MetricsRegistry* registry_ = nullptr;
   int worker_ = 0;
 
-  mutable std::mutex mutex_;
-  std::vector<Slot> slots_;
-  std::list<int> lru_;  ///< unpinned slots, least-recently-used first
-  std::unordered_map<uint64_t, int> page_table_;
-  std::vector<FileEntry> files_;
+  mutable Mutex mutex_{"buffer_cache", LockRank::kBufferCache};
+  std::vector<Slot> slots_ GUARDED_BY(mutex_);
+  /// Unpinned slots, least-recently-used first.
+  std::list<int> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, int> page_table_ GUARDED_BY(mutex_);
+  std::vector<FileEntry> files_ GUARDED_BY(mutex_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -12,7 +12,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (spec.message.empty()) spec.message = "injected fault at " + point;
   auto it = points_.find(point);
   if (it == points_.end()) {
@@ -25,26 +25,26 @@ void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (points_.erase(point) > 0) {
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.clear();
   scope_superstep_ = kNoScope;
   armed_count_.store(0, std::memory_order_relaxed);
 }
 
 void FaultInjector::SetScope(int64_t superstep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   scope_superstep_ = superstep;
 }
 
 int64_t FaultInjector::scope() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return scope_superstep_;
 }
 
@@ -53,7 +53,7 @@ bool FaultInjector::any_armed() const {
 }
 
 bool FaultInjector::RecordHit(const std::string& point, FaultSpec* spec_out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return false;
   PointState& state = it->second;
@@ -118,7 +118,7 @@ Status FaultInjector::MaybeFailWrite(const std::string& point, size_t* len) {
 }
 
 PointStats FaultInjector::Stats(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   PointStats stats;
   if (it != points_.end()) {

@@ -20,11 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pregelix {
 namespace fault {
@@ -112,9 +113,9 @@ class FaultInjector {
   // copy) the spec to apply.
   bool RecordHit(const std::string& point, FaultSpec* spec_out);
 
-  mutable std::mutex mu_;
-  std::map<std::string, PointState> points_;
-  int64_t scope_superstep_ = kNoScope;
+  mutable Mutex mu_{"fault_injector", LockRank::kFaultInjector};
+  std::map<std::string, PointState> points_ GUARDED_BY(mu_);
+  int64_t scope_superstep_ GUARDED_BY(mu_) = kNoScope;
   // Fast path: number of armed points, read without the lock.
   std::atomic<int> armed_count_{0};
 };

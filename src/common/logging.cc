@@ -4,14 +4,15 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
 
 namespace pregelix {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex{"log", LockRank::kLogging};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -62,7 +63,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(&g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   if (fatal_) {

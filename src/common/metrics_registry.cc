@@ -82,7 +82,11 @@ void Histogram::Observe(uint64_t value) {
     bucket = 64 - __builtin_clzll(value);  // floor(log2(v)) + 1
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Release after the bucket update so a snapshot reading count (acquire)
+  // sees every bucket increment it counts; with both relaxed, Percentile
+  // could observe count == n but fewer than n bucket increments and walk
+  // off the end of the populated buckets.
+  count_.fetch_add(1, std::memory_order_release);
   sum_.fetch_add(value, std::memory_order_relaxed);
   uint64_t prev = max_.load(std::memory_order_relaxed);
   while (value > prev &&
@@ -150,28 +154,28 @@ const MetricsRegistry::Entry* MetricsRegistry::FindLocked(
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return GetOrCreateLocked(name, std::move(labels), Kind::kCounter)
       ->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return GetOrCreateLocked(name, std::move(labels), Kind::kGauge)
       ->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          MetricLabels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return GetOrCreateLocked(name, std::move(labels), Kind::kHistogram)
       ->histogram.get();
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name,
                                        const MetricLabels& labels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const Entry* entry = FindLocked(name, labels);
   return entry != nullptr && entry->kind == Kind::kCounter
              ? entry->counter->value()
@@ -180,7 +184,7 @@ uint64_t MetricsRegistry::CounterValue(const std::string& name,
 
 int64_t MetricsRegistry::GaugeValue(const std::string& name,
                                     const MetricLabels& labels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const Entry* entry = FindLocked(name, labels);
   return entry != nullptr && entry->kind == Kind::kGauge
              ? entry->gauge->value()
@@ -188,12 +192,12 @@ int64_t MetricsRegistry::GaugeValue(const std::string& name,
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return entries_.size();
 }
 
 uint64_t MetricsRegistry::SumCounters(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const auto& [key, entry] : entries_) {
     if (entry.kind == Kind::kCounter && entry.name == name) {
@@ -203,45 +207,46 @@ uint64_t MetricsRegistry::SumCounters(const std::string& name) const {
   return total;
 }
 
-void MetricsRegistry::WriteJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto write_kind = [&](Kind kind) {
-    bool first = true;
-    for (const auto& [key, entry] : entries_) {
-      if (entry.kind != kind) continue;
-      if (!first) os << ",";
-      first = false;
-      os << "{\"name\":\"";
-      AppendJsonEscaped(os, entry.name);
-      os << "\",\"labels\":";
-      WriteLabels(os, entry.labels);
-      switch (kind) {
-        case Kind::kCounter:
-          os << ",\"value\":" << entry.counter->value();
-          break;
-        case Kind::kGauge:
-          os << ",\"value\":" << entry.gauge->value();
-          break;
-        case Kind::kHistogram: {
-          const Histogram& h = *entry.histogram;
-          char mean[32];
-          snprintf(mean, sizeof(mean), "%.3f", h.mean());
-          os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
-             << ",\"mean\":" << mean << ",\"p50\":" << h.Percentile(50)
-             << ",\"p90\":" << h.Percentile(90)
-             << ",\"p99\":" << h.Percentile(99) << ",\"max\":" << h.max();
-          break;
-        }
+void MetricsRegistry::WriteKindLocked(std::ostream& os, Kind kind) const {
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.kind != kind) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    AppendJsonEscaped(os, entry.name);
+    os << "\",\"labels\":";
+    WriteLabels(os, entry.labels);
+    switch (kind) {
+      case Kind::kCounter:
+        os << ",\"value\":" << entry.counter->value();
+        break;
+      case Kind::kGauge:
+        os << ",\"value\":" << entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        char mean[32];
+        snprintf(mean, sizeof(mean), "%.3f", h.mean());
+        os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+           << ",\"mean\":" << mean << ",\"p50\":" << h.Percentile(50)
+           << ",\"p90\":" << h.Percentile(90)
+           << ",\"p99\":" << h.Percentile(99) << ",\"max\":" << h.max();
+        break;
       }
-      os << "}";
     }
-  };
+    os << "}";
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  MutexLock lock(&mutex_);
   os << "{\"counters\":[";
-  write_kind(Kind::kCounter);
+  WriteKindLocked(os, Kind::kCounter);
   os << "],\"gauges\":[";
-  write_kind(Kind::kGauge);
+  WriteKindLocked(os, Kind::kGauge);
   os << "],\"histograms\":[";
-  write_kind(Kind::kHistogram);
+  WriteKindLocked(os, Kind::kHistogram);
   os << "]}";
 }
 

@@ -6,13 +6,14 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Labeled metrics for the dataflow / storage / Pregel stack.
 //
@@ -80,7 +81,11 @@ class Histogram {
 
   void Observe(uint64_t value);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // Acquire pairs with the release in Observe: a snapshot that reads
+  // count == n is guaranteed to see at least n bucket increments, so
+  // Percentile's rank walk cannot run past the populated buckets while a
+  // concurrent Observe is mid-flight.
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const {
@@ -147,14 +152,15 @@ class MetricsRegistry {
   };
 
   Entry* GetOrCreateLocked(const std::string& name, MetricLabels labels,
-                           Kind kind);
+                           Kind kind) REQUIRES(mutex_);
+  void WriteKindLocked(std::ostream& os, Kind kind) const REQUIRES(mutex_);
   const Entry* FindLocked(const std::string& name,
-                          const MetricLabels& labels) const;
+                          const MetricLabels& labels) const REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"metrics_registry", LockRank::kMetricsRegistry};
   /// Keyed by name + normalized labels; std::map keeps the JSON dump in a
   /// stable, diff-friendly order.
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace pregelix

@@ -1,0 +1,222 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace pregelix {
+
+namespace lock_order {
+namespace {
+
+// The detector must not use pregelix::Mutex (recursion) or PLOG (the log
+// mutex is itself instrumented), so everything here is raw std:: primitives
+// and fprintf.
+
+#ifdef NDEBUG
+std::atomic<bool> g_enabled{false};
+#else
+std::atomic<bool> g_enabled{true};
+#endif
+
+void DefaultHandler(const Violation& v) {
+  fprintf(stderr, "%s\n", v.report.c_str());
+  fflush(stderr);
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&DefaultHandler};
+
+/// Per-thread stack of held locks, outermost first.
+thread_local std::vector<const Mutex*> tls_held;
+
+/// Name-level acquisition graph. Nodes are lock names (all instances of one
+/// structure share a node); an edge a->b means "some thread held a while
+/// acquiring b". Each edge stores the holder's full held-lock stack at the
+/// time the edge was first seen, so a cycle report can show both sides'
+/// stacks.
+struct Graph {
+  std::mutex mu;
+  struct Edge {
+    std::vector<std::string> holder_stack;  // held names when edge created
+  };
+  std::map<std::string, std::map<std::string, Edge>> edges;
+
+  // DFS: is `to` reachable from `from`? Fills path (names, inclusive).
+  bool Reachable(const std::string& from, const std::string& to,
+                 std::set<std::string>* visited,
+                 std::vector<std::string>* path) {
+    if (!visited->insert(from).second) return false;
+    path->push_back(from);
+    if (from == to) return true;
+    auto it = edges.find(from);
+    if (it != edges.end()) {
+      for (const auto& [next, edge] : it->second) {
+        if (Reachable(next, to, visited, path)) return true;
+      }
+    }
+    path->pop_back();
+    return false;
+  }
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();
+  return *g;
+}
+
+std::string DescribeHeld(const std::vector<const Mutex*>& held) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << held[i]->name() << "(rank "
+       << static_cast<int>(held[i]->rank()) << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string DescribeStack(const std::vector<std::string>& names) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << names[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void Report(Violation::Kind kind, const std::string& report) {
+  Violation v;
+  v.kind = kind;
+  v.report = report;
+  g_handler.load()(v);
+}
+
+/// Rank + cycle checks for one acquisition; called before blocking on the
+/// underlying std::mutex so a would-be deadlock reports instead of hanging.
+void CheckAcquire(const Mutex* m) {
+  if (tls_held.empty()) return;
+
+  for (const Mutex* h : tls_held) {
+    if (h == m) {
+      std::ostringstream os;
+      os << "lock-order violation (recursive acquisition): thread already "
+         << "holds \"" << m->name() << "\"; held " << DescribeHeld(tls_held);
+      Report(Violation::Kind::kRecursive, os.str());
+      return;  // acquiring would self-deadlock; handler decided to continue
+    }
+  }
+
+  // Rank discipline: every ranked lock acquired must outrank every ranked
+  // lock held.
+  if (m->rank() != LockRank::kUnranked) {
+    for (const Mutex* h : tls_held) {
+      if (h->rank() == LockRank::kUnranked) continue;
+      if (static_cast<int>(h->rank()) >= static_cast<int>(m->rank())) {
+        std::ostringstream os;
+        os << "lock-order violation (rank inversion): acquiring \""
+           << m->name() << "\" (rank " << static_cast<int>(m->rank())
+           << ") while holding \"" << h->name() << "\" (rank "
+           << static_cast<int>(h->rank())
+           << "); a ranked lock must outrank every ranked lock held. held "
+           << DescribeHeld(tls_held);
+        Report(Violation::Kind::kRankInversion, os.str());
+        break;
+      }
+    }
+  }
+
+  // Cycle detection over the name-level acquisition graph.
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const Mutex* h : tls_held) {
+    if (std::string(h->name()) == m->name()) continue;
+    auto& out = g.edges[h->name()];
+    if (out.find(m->name()) != out.end()) continue;  // known edge
+    // Inserting h->m: if m already reaches h, this edge closes a cycle.
+    std::set<std::string> visited;
+    std::vector<std::string> path;
+    if (g.Reachable(m->name(), h->name(), &visited, &path)) {
+      std::ostringstream os;
+      os << "lock-order violation (cycle): acquiring \"" << m->name()
+         << "\" while holding \"" << h->name()
+         << "\" completes the cycle ";
+      for (const std::string& n : path) os << n << " -> ";
+      os << m->name() << ".\n  this thread holds "
+         << DescribeHeld(tls_held) << "\n";
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        const Graph::Edge& e = g.edges[path[i]][path[i + 1]];
+        os << "  edge " << path[i] << " -> " << path[i + 1]
+           << " first seen with holder stack "
+           << DescribeStack(e.holder_stack) << "\n";
+      }
+      Report(Violation::Kind::kCycle, os.str());
+    }
+    Graph::Edge edge;
+    edge.holder_stack.reserve(tls_held.size());
+    for (const Mutex* held : tls_held) {
+      edge.holder_stack.push_back(held->name());
+    }
+    out.emplace(m->name(), std::move(edge));
+  }
+}
+
+}  // namespace
+
+Handler SetHandler(Handler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &DefaultHandler);
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void ResetGraphForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.edges.clear();
+}
+
+std::vector<std::string> HeldLocksForTest() {
+  std::vector<std::string> names;
+  names.reserve(tls_held.size());
+  for (const Mutex* m : tls_held) names.emplace_back(m->name());
+  return names;
+}
+
+}  // namespace lock_order
+
+void Mutex::lock() {
+  if (lock_order::Enabled()) lock_order::CheckAcquire(this);
+  mu_.lock();
+  lock_order::tls_held.push_back(this);
+}
+
+void Mutex::unlock() {
+  auto& held = lock_order::tls_held;
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1] == this) {
+      held.erase(held.begin() + static_cast<long>(i - 1));
+      break;
+    }
+  }
+  mu_.unlock();
+}
+
+bool Mutex::try_lock() {
+  // try_lock cannot deadlock, so it skips the checks but still tracks.
+  if (!mu_.try_lock()) return false;
+  lock_order::tls_held.push_back(this);
+  return true;
+}
+
+}  // namespace pregelix

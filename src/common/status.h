@@ -32,7 +32,12 @@ const char* StatusCodeName(StatusCode code);
 /// The one deliberate exception type is SimulatedOutOfMemory, thrown by the
 /// baseline engines' accounting allocator to reproduce the paper's baseline
 /// failure behaviour (see src/baselines).
-class Status {
+///
+/// [[nodiscard]] on the class: silently dropping a returned Status hides
+/// I/O and corruption errors, so every ignored return is a compile warning;
+/// the rare deliberate discard must say so via a named local or
+/// PREGELIX_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -96,6 +101,14 @@ class Status {
   do {                                            \
     ::pregelix::Status _s = (expr);               \
     if (!_s.ok()) return _s;                      \
+  } while (0)
+
+/// Documents a deliberately ignored Status (cleanup paths where the primary
+/// error is already being reported). Prefer logging or propagating.
+#define PREGELIX_IGNORE_STATUS(expr)              \
+  do {                                            \
+    ::pregelix::Status _s = (expr);               \
+    (void)_s;                                     \
   } while (0)
 
 }  // namespace pregelix

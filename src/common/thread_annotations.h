@@ -1,0 +1,75 @@
+#ifndef PREGELIX_COMMON_THREAD_ANNOTATIONS_H_
+#define PREGELIX_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attributes (-Wthread-safety), compiled to
+// nothing on other compilers. Build with
+//   cmake -DPREGELIX_THREAD_SAFETY_ANALYSIS=ON   (requires clang)
+// to promote these declarations into compile errors. The vocabulary and
+// macro names follow the Clang documentation so the annotations read the
+// same here as in abseil/LLVM code:
+//
+//   GUARDED_BY(mu)     a field that may only be touched with mu held
+//   REQUIRES(mu)       a function that must be called with mu held
+//   EXCLUDES(mu)       a function that must be called with mu NOT held
+//   ACQUIRE/RELEASE    functions that take / drop mu themselves
+//   CAPABILITY         marks a class as a lockable capability (Mutex)
+//   SCOPED_CAPABILITY  marks an RAII lock holder (MutexLock)
+//
+// See DESIGN.md §12 for which structure is guarded by which lock and the
+// global lock-rank order the runtime detector enforces.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PREGELIX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PREGELIX_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) PREGELIX_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY PREGELIX_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) PREGELIX_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) PREGELIX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  PREGELIX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  PREGELIX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  PREGELIX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  PREGELIX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  PREGELIX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  PREGELIX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  PREGELIX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  PREGELIX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  PREGELIX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  PREGELIX_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) PREGELIX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  PREGELIX_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) PREGELIX_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PREGELIX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PREGELIX_COMMON_THREAD_ANNOTATIONS_H_

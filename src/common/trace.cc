@@ -71,7 +71,7 @@ Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
   for (const auto& [id, buffer] : tl_buffers) {
     if (id == tracer_id_) return buffer;
   }
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(&registry_mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<int>(buffers_.size());
   ThreadBuffer* raw = buffer.get();
@@ -83,16 +83,16 @@ Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
 void Tracer::Record(TraceEvent event) {
   ThreadBuffer* buffer = GetThreadBuffer();
   event.tid = buffer->tid;
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  MutexLock lock(&buffer->mutex);
   buffer->events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::Collect() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(&registry_mutex_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(&buffer->mutex);
       out.insert(out.end(), buffer->events.begin(), buffer->events.end());
     }
   }
@@ -111,19 +111,19 @@ std::vector<TraceEvent> Tracer::Collect() const {
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(&registry_mutex_);
   size_t n = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(&buffer->mutex);
     n += buffer->events.size();
   }
   return n;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(&registry_mutex_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(&buffer->mutex);
     buffer->events.clear();
   }
 }

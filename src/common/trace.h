@@ -4,14 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Operator-level tracing for the dataflow / storage / Pregel stack.
 //
@@ -100,9 +101,12 @@ class Tracer {
   friend class TraceSpan;
 
   struct ThreadBuffer {
-    mutable std::mutex mutex;  ///< taken by Collect/Clear, and by the owner
-    std::vector<TraceEvent> events;
-    int tid = 0;
+    /// Ranked after registry_mutex_: Collect/Clear/event_count hold the
+    /// registry lock while visiting each buffer; the recording owner takes
+    /// only its own buffer lock.
+    mutable Mutex mutex{"trace_buffer", LockRank::kTraceBuffer};
+    std::vector<TraceEvent> events GUARDED_BY(mutex);
+    int tid = 0;  ///< written once at creation, by the owning thread
   };
 
   /// The calling thread's buffer for this tracer (created on first use).
@@ -112,8 +116,9 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   uint64_t epoch_ns_ = 0;  ///< steady-clock origin of the timebase
 
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex registry_mutex_{"trace_registry", LockRank::kTraceRegistry};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      GUARDED_BY(registry_mutex_);
 };
 
 /// RAII span: records one complete event from construction to destruction.

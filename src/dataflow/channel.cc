@@ -23,7 +23,7 @@ FrameChannel::FrameChannel(size_t capacity_frames, Policy policy,
       senders_open_(num_senders) {}
 
 Status FrameChannel::Put(std::string frame) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_RETURN_NOT_OK(fault::MaybeFail("channel.send"));
   if (policy_ == Policy::kSenderMaterialize) {
     if (spill_writer_ == nullptr) {
@@ -37,28 +37,28 @@ Status FrameChannel::Put(std::string frame) {
     if (abort_ != nullptr && abort_->load()) {
       return Status::Aborted("job aborted");
     }
-    cv_.wait_for(lock, kAbortPollInterval);
+    cv_.WaitFor(&mutex_, kAbortPollInterval);
   }
   queue_.push_back(std::move(frame));
   ++frames_;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 Status FrameChannel::CloseSender() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PREGELIX_CHECK(senders_open_ > 0);
   --senders_open_;
   if (senders_open_ == 0 && policy_ == Policy::kSenderMaterialize &&
       spill_writer_ != nullptr) {
     PREGELIX_RETURN_NOT_OK(spill_writer_->Finish());
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 bool FrameChannel::Get(std::string* frame) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   {
     Status injected = fault::MaybeFail("channel.recv");
     if (!injected.ok()) {
@@ -67,7 +67,7 @@ bool FrameChannel::Get(std::string* frame) {
       // status up after joining so the failure surfaces at the driver.
       fault_status_ = std::move(injected);
       if (abort_ != nullptr) abort_->store(true);
-      cv_.notify_all();
+      cv_.NotifyAll();
       return false;
     }
   }
@@ -75,7 +75,7 @@ bool FrameChannel::Get(std::string* frame) {
     // Wait for all senders, then stream the spill file.
     while (!AllSendersDone()) {
       if (abort_ != nullptr && abort_->load()) return false;
-      cv_.wait_for(lock, kAbortPollInterval);
+      cv_.WaitFor(&mutex_, kAbortPollInterval);
     }
     if (spill_writer_ == nullptr) return false;  // nothing was sent
     if (spill_reader_ == nullptr) {
@@ -106,17 +106,17 @@ bool FrameChannel::Get(std::string* frame) {
     if (!queue_.empty()) {
       *frame = std::move(queue_.front());
       queue_.pop_front();
-      cv_.notify_all();
+      cv_.NotifyAll();
       return true;
     }
     if (AllSendersDone()) return false;
     if (abort_ != nullptr && abort_->load()) return false;
-    cv_.wait_for(lock, kAbortPollInterval);
+    cv_.WaitFor(&mutex_, kAbortPollInterval);
   }
 }
 
 Status FrameChannel::fault_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return fault_status_;
 }
 

@@ -2,14 +2,14 @@
 #define PREGELIX_DATAFLOW_CHANNEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/run_file.h"
 
 namespace pregelix {
@@ -55,10 +55,13 @@ class FrameChannel {
   /// receive failure is never mistaken for a clean end-of-stream.
   Status fault_status() const;
 
-  uint64_t frames_transferred() const { return frames_; }
+  uint64_t frames_transferred() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return frames_;
+  }
 
  private:
-  bool AllSendersDone() const { return senders_open_ == 0; }
+  bool AllSendersDone() const REQUIRES(mutex_) { return senders_open_ == 0; }
 
   const size_t capacity_;
   const Policy policy_;
@@ -66,16 +69,17 @@ class FrameChannel {
   WorkerMetrics* const spill_metrics_;
   std::atomic<bool>* const abort_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::string> queue_;
-  int senders_open_;
-  uint64_t frames_ = 0;
-  Status fault_status_;
+  mutable Mutex mutex_{"channel", LockRank::kChannel};
+  CondVar cv_;
+  std::deque<std::string> queue_ GUARDED_BY(mutex_);
+  int senders_open_ GUARDED_BY(mutex_);
+  uint64_t frames_ GUARDED_BY(mutex_) = 0;
+  Status fault_status_ GUARDED_BY(mutex_);
 
-  // Materializing mode state.
-  std::unique_ptr<RunFileWriter> spill_writer_;
-  std::unique_ptr<RunFileReader> spill_reader_;
+  // Materializing mode state (single consumer streams the spill file, but
+  // writer creation races between producers, so both ride the lock).
+  std::unique_ptr<RunFileWriter> spill_writer_ GUARDED_BY(mutex_);
+  std::unique_ptr<RunFileReader> spill_reader_ GUARDED_BY(mutex_);
 };
 
 }  // namespace pregelix

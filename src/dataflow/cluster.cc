@@ -25,12 +25,15 @@ SimulatedCluster::SimulatedCluster(const ClusterConfig& config)
   }
 }
 
-std::string SimulatedCluster::partition_dir(int partition) const {
+std::string SimulatedCluster::partition_dir(int partition) const
+    NO_THREAD_SAFETY_ANALYSIS {
+  // Reads only the worker dir string, fixed at construction.
   return workers_[worker_of_partition(partition)]->dir + "/p" +
          std::to_string(partition);
 }
 
 std::vector<MetricsSnapshot> SimulatedCluster::SnapshotAll() const {
+  MutexLock lock(&workers_mutex_);
   std::vector<MetricsSnapshot> out;
   out.reserve(workers_.size());
   for (const auto& worker : workers_) {
@@ -40,6 +43,7 @@ std::vector<MetricsSnapshot> SimulatedCluster::SnapshotAll() const {
 }
 
 void SimulatedCluster::PublishMetrics() {
+  MutexLock lock(&workers_mutex_);
   for (size_t w = 0; w < workers_.size(); ++w) {
     const Worker& worker = *workers_[w];
     const MetricsSnapshot snap = worker.metrics->Snapshot();
@@ -60,6 +64,7 @@ void SimulatedCluster::PublishMetrics() {
 
 Status SimulatedCluster::FailWorker(int worker) {
   PREGELIX_CHECK(worker >= 0 && worker < num_workers());
+  MutexLock lock(&workers_mutex_);
   Worker& w = *workers_[worker];
   // Drop the buffer cache (all open files and cached pages die with the
   // machine), then wipe and recreate its scratch directory.

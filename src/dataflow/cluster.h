@@ -10,7 +10,9 @@
 #include "common/config.h"
 #include "common/metrics.h"
 #include "common/metrics_registry.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 
 namespace pregelix {
@@ -38,9 +40,19 @@ class SimulatedCluster {
     return partition % config_.num_workers;
   }
 
-  WorkerMetrics& metrics(int worker) { return *workers_[worker]->metrics; }
-  BufferCache& cache(int worker) { return *workers_[worker]->cache; }
-  const std::string& worker_dir(int worker) const {
+  // The per-worker accessors hand out references that tasks hold for a
+  // whole job, so they cannot ride workers_mutex_; their contract is that
+  // FailWorker (the only mutator) never runs concurrently with a job on
+  // the same worker — the fault-tolerance driver fails workers between
+  // superstep jobs. Metrics/stat scrapes (PublishMetrics, SnapshotAll) may
+  // run at any time and therefore do take the lock.
+  WorkerMetrics& metrics(int worker) NO_THREAD_SAFETY_ANALYSIS {
+    return *workers_[worker]->metrics;
+  }
+  BufferCache& cache(int worker) NO_THREAD_SAFETY_ANALYSIS {
+    return *workers_[worker]->cache;
+  }
+  const std::string& worker_dir(int worker) const NO_THREAD_SAFETY_ANALYSIS {
     return workers_[worker]->dir;
   }
 
@@ -79,7 +91,11 @@ class SimulatedCluster {
   ClusterConfig config_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* registry_ = nullptr;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  /// Guards the worker table against FailWorker's cache replacement racing
+  /// a concurrent metrics scrape. The vector itself is fixed after
+  /// construction; the lock covers the per-worker cache pointer swap.
+  mutable Mutex workers_mutex_{"cluster", LockRank::kCluster};
+  std::vector<std::unique_ptr<Worker>> workers_ GUARDED_BY(workers_mutex_);
   std::atomic<uint64_t> next_file_id_{0};
 };
 

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/metrics_registry.h"
 #include "common/temp_dir.h"
 #include "common/trace.h"
@@ -400,7 +400,7 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
   }
 
   // --- Run ------------------------------------------------------------------
-  std::mutex status_mutex;
+  Mutex status_mutex{"executor_status", LockRank::kExecutorStatus};
   Status first_error;
   std::vector<std::thread> threads;
   threads.reserve(tasks.size());
@@ -432,7 +432,7 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
         }
       }
       if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(status_mutex);
+        MutexLock lock(&status_mutex);
         if (first_error.ok()) {
           first_error = Status(s.code(), spec.name() + "/" +
                                              spec.ops()[task.op]

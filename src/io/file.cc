@@ -55,7 +55,7 @@ Status WritableFile::Open(const std::string& path, WorkerMetrics* metrics,
 
 WritableFile::~WritableFile() {
   if (!closed_) {
-    Close();  // best effort
+    PREGELIX_IGNORE_STATUS(Close());  // best effort in a destructor
   }
 }
 

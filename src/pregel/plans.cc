@@ -618,7 +618,10 @@ Status RunGlobalAggOp(JobRuntimeContext* ctx, TaskContext& task) {
     if (hooks.finish) hooks.finish(&agg_acc);
     next.aggregate = agg_acc;
   }
-  ctx->pending_gs = next;
+  {
+    MutexLock lock(&ctx->gs_mutex);
+    ctx->pending_gs = next;
+  }
   return Status::OK();
 }
 

@@ -185,7 +185,10 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
 
     // --- One superstep ----------------------------------------------------
     ctx->current_superstep = superstep;
-    ctx->pending_gs = GlobalState{};
+    {
+      MutexLock lock(&ctx->gs_mutex);
+      ctx->pending_gs = GlobalState{};
+    }
     ctx->vertices_added = 0;
     ctx->vertices_removed = 0;
     ctx->edges_delta = 0;
@@ -271,7 +274,11 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
 }
 
 Status PregelixRuntime::AdvanceGlobalState(JobRuntimeContext* ctx) {
-  GlobalState gs = ctx->pending_gs;
+  GlobalState gs;
+  {
+    MutexLock lock(&ctx->gs_mutex);
+    gs = ctx->pending_gs;
+  }
   gs.num_vertices = ctx->gs.num_vertices + ctx->vertices_added.load() -
                     ctx->vertices_removed.load();
   gs.num_edges = ctx->gs.num_edges + ctx->edges_delta.load();

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
 #include "pregel/job_config.h"
@@ -95,8 +97,12 @@ struct JobRuntimeContext {
 
   std::vector<PartitionState> partitions;
 
-  // Written by the single global-aggregation clone.
-  GlobalState pending_gs;
+  /// Guards pending_gs: written by the single global-aggregation clone on a
+  /// worker thread, read by the driver at the barrier. The thread join
+  /// already orders the two, but the lock makes the contract explicit and
+  /// machine-checked (and keeps any future concurrent reader safe).
+  Mutex gs_mutex{"pregel_gs", LockRank::kPregelGlobalState};
+  GlobalState pending_gs GUARDED_BY(gs_mutex);
 
   // Mutation counters (resolve side), folded into GS at the barrier.
   std::atomic<int64_t> vertices_added{0};
