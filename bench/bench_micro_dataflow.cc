@@ -1,12 +1,22 @@
 // Microbenchmarks (google-benchmark) for the dataflow substrate: frame
-// encode/decode, the group-by family, and external sorting. Supporting
-// numbers for the operator choices of paper Sections 4 and 5.3.1.
+// encode/decode, the group-by family, external sorting, the k-way merge
+// (loser tree, varying fan-in), and the normalized-key comparison kernel.
+// Supporting numbers for the operator choices of paper Sections 4 and
+// 5.3.1, and the before/after record in BENCH_kernels.json (DESIGN.md §13).
+//
+// Machine-readable output: run with
+//   --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+// (the `bench_smoke` ctest target does exactly this for one iteration).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/serde.h"
+#include "common/slice.h"
 #include "common/temp_dir.h"
 #include "dataflow/frame.h"
 #include "dataflow/ops/sort.h"
@@ -151,6 +161,89 @@ void BM_ExternalSortSpilling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExternalSortSpilling)->Unit(benchmark::kMillisecond);
+
+// K-way merge through the loser tree: a tiny batch budget manufactures
+// dozens of sorted runs, then Finish (the timed part) merges them at the
+// configured fan-in. Fan-ins above the run count measure one wide pass;
+// small fan-ins add intermediate passes. Feeding is untimed.
+void BM_MergeFanin(benchmark::State& state) {
+  const int fanin = static_cast<int>(state.range(0));
+  TempDir dir("micro-merge");
+  const int n = 100000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SortConfig config;
+    config.memory_budget_bytes = 64 * 1024;  // ~40 runs of ~2.5k tuples
+    config.frame_size = 32 * 1024;
+    config.scratch_prefix = dir.path() + "/m";
+    config.merge_fanin = fanin;
+    ExternalSortGrouper sorter(config);
+    Random rnd(11);
+    const std::string payload(16, 'p');
+    for (int i = 0; i < n; ++i) {
+      const std::string key =
+          OrderedKeyI64(static_cast<int64_t>(rnd.Next() & 0xffffff));
+      const Slice fields[2] = {Slice(key), Slice(payload)};
+      PREGELIX_CHECK(sorter.Add(fields).ok());
+    }
+    state.ResumeTiming();
+    int64_t out = 0;
+    PREGELIX_CHECK(sorter
+                       .Finish([&](std::span<const Slice>) {
+                         ++out;
+                         return Status::OK();
+                       })
+                       .ok());
+    benchmark::DoNotOptimize(out);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_MergeFanin)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// The comparison kernel in isolation: sorting an index array over 64k
+// 8-byte ordered keys with the plain Slice comparator vs. the cached
+// normalized-prefix comparator used by DrainBatchSorted. The spread between
+// the two is the per-comparison saving every batch sort gets.
+void KeySortBench(benchmark::State& state, bool normalized) {
+  const int n = 64 * 1024;
+  Random rnd(12);
+  std::string pool;
+  std::vector<uint64_t> norms;
+  pool.reserve(8u * n);
+  for (int i = 0; i < n; ++i) {
+    const std::string key =
+        OrderedKeyI64(static_cast<int64_t>(rnd.Next() & 0xffffffff));
+    pool.append(key);
+    norms.push_back(NormalizedKeyPrefix(Slice(key)));
+  }
+  auto key_at = [&](uint32_t i) { return Slice(pool.data() + 8u * i, 8); };
+  std::vector<uint32_t> order(n);
+  for (auto _ : state) {
+    std::iota(order.begin(), order.end(), 0u);
+    if (normalized) {
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (norms[a] != norms[b]) return norms[a] < norms[b];
+        return key_at(a).compare(key_at(b)) < 0;
+      });
+    } else {
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return key_at(a).compare(key_at(b)) < 0;
+      });
+    }
+    benchmark::DoNotOptimize(order.data());
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+
+void BM_KeySortSliceCompare(benchmark::State& state) {
+  KeySortBench(state, /*normalized=*/false);
+}
+BENCHMARK(BM_KeySortSliceCompare)->Unit(benchmark::kMillisecond);
+
+void BM_KeySortNormalizedPrefix(benchmark::State& state) {
+  KeySortBench(state, /*normalized=*/true);
+}
+BENCHMARK(BM_KeySortNormalizedPrefix)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace pregelix

@@ -133,6 +133,22 @@ inline Status MaybeFailWrite(const std::string& point, size_t* len) {
   return fi.MaybeFailWrite(point, len);
 }
 
+/// Literal-name overloads: the std::string is only materialized once a spec
+/// is armed, so a disarmed point on a per-tuple path costs exactly one
+/// relaxed atomic load — no temporary string (point names longer than the
+/// SSO limit would otherwise heap-allocate on every call).
+inline Status MaybeFail(const char* point) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.any_armed()) return Status::OK();
+  return fi.MaybeFail(std::string(point));
+}
+
+inline Status MaybeFailWrite(const char* point, size_t* len) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.any_armed()) return Status::OK();
+  return fi.MaybeFailWrite(std::string(point), len);
+}
+
 /// True when `s` is the result of an Action::kCrash fire: the runtime
 /// must not retry it and must unwind to the driver.
 inline bool IsSimulatedCrash(const Status& s) { return s.IsAborted(); }

@@ -29,6 +29,29 @@ inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
   return Hash64(s.data(), s.size(), seed);
 }
 
+/// Transparent hash functor for byte-keyed tables: hashes Slice,
+/// std::string, and const char* identically, so containers declared with it
+/// support heterogeneous lookup (find(Slice) against std::string keys
+/// without materializing a temporary string). Pair with SliceEq.
+struct SliceHash {
+  using is_transparent = void;
+  size_t operator()(const Slice& s) const {
+    return static_cast<size_t>(Hash64(s));
+  }
+  size_t operator()(const std::string& s) const {
+    return static_cast<size_t>(Hash64(Slice(s)));
+  }
+  size_t operator()(const char* s) const {
+    return static_cast<size_t>(Hash64(Slice(s)));
+  }
+};
+
+/// Transparent equality for byte-keyed tables; see SliceHash.
+struct SliceEq {
+  using is_transparent = void;
+  bool operator()(const Slice& a, const Slice& b) const { return a == b; }
+};
+
 /// Hashes a vertex id directly (used by the default hash partitioner).
 inline uint64_t HashVid(int64_t vid) {
   uint64_t h = static_cast<uint64_t>(vid) * 0x9e3779b97f4a7c15ull;

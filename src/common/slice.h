@@ -2,6 +2,7 @@
 #define PREGELIX_COMMON_SLICE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -55,6 +56,31 @@ class Slice {
   const char* data_;
   size_t size_;
 };
+
+/// First 8 bytes of a key as a big-endian integer, zero-padded on the
+/// right. The "normalized key prefix" of the sort/merge kernels: for any
+/// two keys, NormalizedKeyPrefix(a) < NormalizedKeyPrefix(b) implies
+/// a.compare(b) < 0, so a single integer compare replaces memcmp whenever
+/// the prefixes differ; only a prefix *tie* needs the full comparison.
+/// (Zero padding is safe because 0x00 is the minimum byte: a shorter key
+/// can only pad down, never up, matching lexicographic prefix order.)
+inline uint64_t NormalizedKeyPrefix(const Slice& key) {
+  if (key.size() >= 8) {
+    uint64_t v;
+    memcpy(&v, key.data(), 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap64(v);
+#endif
+  }
+  uint64_t v = 0;
+  for (size_t i = 0; i < key.size(); ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(key[i]))
+         << (56 - 8 * i);
+  }
+  return v;
+}
 
 inline bool operator==(const Slice& a, const Slice& b) {
   return a.size() == b.size() &&

@@ -45,7 +45,12 @@ FrameTupleAppender::FrameTupleAppender(size_t frame_size, int field_count)
 }
 
 void FrameTupleAppender::Reset() {
-  buffer_.assign(frame_size_, '\0');
+  // A buffer of the right size is kept (stale tuple bytes are overwritten
+  // by appends, and Finalize zeroes the unused gap); only a moved-out or
+  // oversized buffer is reallocated.
+  if (buffer_.size() != frame_size_) {
+    buffer_.assign(frame_size_, '\0');
+  }
   data_end_ = 0;
   count_ = 0;
   slots_.clear();
@@ -96,6 +101,12 @@ bool FrameTupleAppender::AppendRaw(const Slice& tuple_bytes) {
 
 void FrameTupleAppender::Finalize() {
   char* end = buffer_.data() + buffer_.size();
+  // Zero the unused gap between the tuple data and the slot array so a
+  // reused buffer produces byte-identical frames to a freshly zeroed one.
+  const size_t slots_start = buffer_.size() - 4u - 4u * count_;
+  if (slots_start > data_end_) {
+    memset(buffer_.data() + data_end_, 0, slots_start - data_end_);
+  }
   EncodeFixed32(end - 4, static_cast<uint32_t>(count_));
   for (int i = 0; i < count_; ++i) {
     EncodeFixed32(end - 8 - 4 * i, slots_[i]);
@@ -107,6 +118,11 @@ std::string FrameTupleAppender::Take() {
   std::string out = std::move(buffer_);
   Reset();
   return out;
+}
+
+const std::string& FrameTupleAppender::FinalizeView() {
+  Finalize();
+  return buffer_;
 }
 
 }  // namespace pregelix

@@ -1,8 +1,10 @@
 #include "dataflow/ops/sort.h"
 
 #include <algorithm>
-#include <queue>
+#include <numeric>
 
+#include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/serde.h"
 #include "dataflow/operator.h"
@@ -11,25 +13,6 @@
 namespace pregelix {
 
 namespace {
-
-/// Encodes fields into the raw tuple format of frame.h.
-void EncodeTuple(std::span<const Slice> fields, std::string* out) {
-  const int n = static_cast<int>(fields.size());
-  size_t data = 0;
-  for (const Slice& f : fields) data += f.size();
-  out->clear();
-  out->reserve(4u * n + data);
-  uint32_t end = 0;
-  char buf[4];
-  for (const Slice& f : fields) {
-    end += static_cast<uint32_t>(f.size());
-    EncodeFixed32(buf, end);
-    out->append(buf, 4);
-  }
-  for (const Slice& f : fields) {
-    out->append(f.data(), f.size());
-  }
-}
 
 /// Sequential cursor over one run file.
 class RunCursor {
@@ -88,6 +71,99 @@ class RunCursor {
   WorkerMetrics* metrics_;
 };
 
+/// Tournament loser tree over the run cursors, keyed on the 8-byte
+/// normalized key prefix (see NormalizedKeyPrefix in slice.h). Selecting
+/// the next tuple of a k-way merge is O(log k) integer comparisons along
+/// one root path instead of the O(k) full-key scan it replaces; the full
+/// Slice compare runs only on a prefix tie.
+///
+/// Ordering invariant: a leaf beats another iff its key is strictly
+/// smaller, or the keys are equal and its cursor index is lower. The index
+/// tie-break reproduces the emission order of the previous linear scan
+/// (lowest cursor wins among equal keys), which the differential suite
+/// pins down as byte-identical output.
+///
+/// Layout: leaves are the k cursors padded to the next power of two `cap_`
+/// with exhausted sentinels (-1, beaten by everything); tree_[1..cap_-1]
+/// store the *loser* of the match played at that node, and the overall
+/// winner is kept in winner_. Exhausting a cursor just turns its leaf into
+/// a sentinel; no removal is needed.
+class LoserTree {
+ public:
+  LoserTree(std::vector<std::unique_ptr<RunCursor>>& cursors, int key_field)
+      : cursors_(cursors), key_field_(key_field) {}
+
+  void Init() {
+    const int k = static_cast<int>(cursors_.size());
+    cap_ = 1;
+    while (cap_ < k) cap_ <<= 1;
+    norm_.assign(k, 0);
+    for (int i = 0; i < k; ++i) Refresh(i);
+    tree_.assign(cap_, -1);
+    // One bottom-up replay: winners[p] is the winner of the subtree at p.
+    std::vector<int> winners(2 * cap_, -1);
+    for (int i = 0; i < k; ++i) {
+      winners[cap_ + i] = cursors_[i]->Valid() ? i : -1;
+    }
+    for (int p = cap_ - 1; p >= 1; --p) {
+      const int a = winners[2 * p];
+      const int b = winners[2 * p + 1];
+      if (Beats(b, a)) {
+        winners[p] = b;
+        tree_[p] = a;
+      } else {
+        winners[p] = a;
+        tree_[p] = b;
+      }
+    }
+    winner_ = winners[1];  // with cap_ == 1 this is leaf 0 itself
+  }
+
+  /// Cursor index holding the smallest key; -1 once every run is drained.
+  int winner() const { return winner_; }
+  /// Cached normalized prefix of the winner's key.
+  uint64_t winner_norm() const { return norm_[winner_]; }
+
+  /// Consumes the winner's current tuple and replays its root path.
+  Status AdvanceWinner() {
+    const int i = winner_;
+    PREGELIX_RETURN_NOT_OK(fault::MaybeFail("sort.merge.refill"));
+    PREGELIX_RETURN_NOT_OK(cursors_[i]->Next());
+    Refresh(i);
+    int contender = cursors_[i]->Valid() ? i : -1;
+    for (int node = (cap_ + i) / 2; node >= 1; node /= 2) {
+      if (Beats(tree_[node], contender)) std::swap(tree_[node], contender);
+    }
+    winner_ = contender;
+    return Status::OK();
+  }
+
+ private:
+  void Refresh(int i) {
+    if (cursors_[i]->Valid()) {
+      norm_[i] = NormalizedKeyPrefix(cursors_[i]->field(key_field_));
+    }
+  }
+
+  /// Strictly-before in merge order; -1 marks an exhausted leaf.
+  bool Beats(int a, int b) const {
+    if (a < 0) return false;
+    if (b < 0) return true;
+    if (norm_[a] != norm_[b]) return norm_[a] < norm_[b];
+    const int c = cursors_[a]->field(key_field_).compare(
+        cursors_[b]->field(key_field_));
+    if (c != 0) return c < 0;
+    return a < b;
+  }
+
+  std::vector<std::unique_ptr<RunCursor>>& cursors_;
+  const int key_field_;
+  int cap_ = 1;
+  std::vector<int> tree_;
+  std::vector<uint64_t> norm_;
+  int winner_ = -1;
+};
+
 /// Merges the given cursors in key order, optionally combining equal keys,
 /// and feeds `emit`. `apply_finish` controls whether the combiner's final
 /// transform runs (only on the last pass).
@@ -96,43 +172,44 @@ Status MergeCursors(std::vector<std::unique_ptr<RunCursor>>& cursors,
                     bool apply_finish, WorkerMetrics* metrics,
                     const TupleEmitFn& emit) {
   uint64_t tuples = 0;
-  std::vector<Slice> fields;
-  for (;;) {
-    int best = -1;
-    for (size_t i = 0; i < cursors.size(); ++i) {
-      if (!cursors[i]->Valid()) continue;
-      if (best < 0 || cursors[i]->field(key_field).compare(
-                          cursors[best]->field(key_field)) < 0) {
-        best = static_cast<int>(i);
-      }
-    }
-    if (best < 0) break;
-
-    if (combiner.valid()) {
-      const std::string key = cursors[best]->field(0).ToString();
-      std::string acc;
-      combiner.init(cursors[best]->field(1), &acc);
-      PREGELIX_RETURN_NOT_OK(cursors[best]->Next());
+  LoserTree tree(cursors, key_field);
+  tree.Init();
+  if (combiner.valid()) {
+    // Group-key and accumulator buffers persist across groups: assignment
+    // reuses their capacity, so steady state allocates nothing per group.
+    std::string group_key;
+    std::string acc;
+    while (tree.winner() >= 0) {
+      RunCursor& w = *cursors[tree.winner()];
+      const uint64_t group_norm = tree.winner_norm();
+      const Slice first_key = w.field(0);
+      group_key.assign(first_key.data(), first_key.size());
+      combiner.init(w.field(1), &acc);
+      PREGELIX_RETURN_NOT_OK(tree.AdvanceWinner());
       ++tuples;
-      // Fold in every other tuple with the same key, from any cursor.
-      for (auto& cursor : cursors) {
-        while (cursor->Valid() && cursor->field(0) == Slice(key)) {
-          combiner.step(cursor->field(1), &acc);
-          PREGELIX_RETURN_NOT_OK(cursor->Next());
-          ++tuples;
-        }
+      // Fold in every other tuple with the same key. The tree pops equal
+      // keys lowest-cursor-first and drains each cursor's equal-key prefix
+      // before moving on, matching the previous cursor-order fold.
+      while (tree.winner() >= 0 && tree.winner_norm() == group_norm &&
+             cursors[tree.winner()]->field(0) == Slice(group_key)) {
+        combiner.step(cursors[tree.winner()]->field(1), &acc);
+        PREGELIX_RETURN_NOT_OK(tree.AdvanceWinner());
+        ++tuples;
       }
       if (apply_finish && combiner.finish) combiner.finish(&acc);
-      const Slice out[2] = {Slice(key), Slice(acc)};
+      const Slice out[2] = {Slice(group_key), Slice(acc)};
       PREGELIX_RETURN_NOT_OK(emit(out));
-    } else {
-      RunCursor& c = *cursors[best];
+    }
+  } else {
+    std::vector<Slice> fields;
+    while (tree.winner() >= 0) {
+      RunCursor& c = *cursors[tree.winner()];
       fields.clear();
       for (int f = 0; f < c.field_count(); ++f) {
         fields.push_back(c.field(f));
       }
       PREGELIX_RETURN_NOT_OK(emit(fields));
-      PREGELIX_RETURN_NOT_OK(c.Next());
+      PREGELIX_RETURN_NOT_OK(tree.AdvanceWinner());
       ++tuples;
     }
   }
@@ -157,7 +234,8 @@ RunWriter::RunWriter(const SortConfig& config, const std::string& path)
 Status RunWriter::Append(std::span<const Slice> fields) {
   PREGELIX_RETURN_NOT_OK(open_status_);
   if (!appender_.Append(fields)) {
-    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.Take()));
+    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.FinalizeView()));
+    appender_.Reset();
     PREGELIX_CHECK(appender_.Append(fields));
   }
   return Status::OK();
@@ -166,7 +244,8 @@ Status RunWriter::Append(std::span<const Slice> fields) {
 Status RunWriter::Finish() {
   PREGELIX_RETURN_NOT_OK(open_status_);
   if (!appender_.empty()) {
-    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.Take()));
+    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.FinalizeView()));
+    appender_.Reset();
   }
   return file_->Finish();
 }
@@ -243,17 +322,35 @@ ExternalSortGrouper::~ExternalSortGrouper() {
   }
 }
 
+size_t ExternalSortGrouper::BatchBytes() const {
+  return pool_.size() + entries_.capacity() * sizeof(Entry);
+}
+
 Status ExternalSortGrouper::Add(std::span<const Slice> fields) {
   PREGELIX_CHECK(!finished_);
-  std::string tuple;
-  EncodeTuple(fields, &tuple);
-  if (pool_.size() + tuple.size() > config_.memory_budget_bytes &&
-      !entries_.empty()) {
+  const int n = static_cast<int>(fields.size());
+  size_t data = 0;
+  for (const Slice& f : fields) data += f.size();
+  const size_t tuple_size = 4u * n + data;
+  if (!entries_.empty() &&
+      BatchBytes() + tuple_size > config_.memory_budget_bytes) {
     PREGELIX_RETURN_NOT_OK(SpillBatch());
   }
-  entries_.push_back(Entry{static_cast<uint32_t>(pool_.size()),
-                           static_cast<uint32_t>(tuple.size())});
-  pool_.append(tuple);
+  // Encode the tuple straight into the pool — no temporary string.
+  const size_t offset = pool_.size();
+  char buf[4];
+  uint32_t end = 0;
+  for (const Slice& f : fields) {
+    end += static_cast<uint32_t>(f.size());
+    EncodeFixed32(buf, end);
+    pool_.append(buf, 4);
+  }
+  for (const Slice& f : fields) {
+    pool_.append(f.data(), f.size());
+  }
+  entries_.push_back(Entry{NormalizedKeyPrefix(fields[config_.key_field]),
+                           static_cast<uint32_t>(offset),
+                           static_cast<uint32_t>(tuple_size)});
   if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
   return Status::OK();
 }
@@ -265,8 +362,13 @@ Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
     return TupleFieldFromRaw(Slice(pool_.data() + e.offset, e.size),
                              field_count, key_field);
   };
+  // The cached normalized prefixes settle the vast majority of comparisons
+  // with one integer compare; a tie implies the first 8 key bytes match and
+  // only then is the key re-decoded from the pool. Same ordering as a full
+  // key compare, so the resulting permutation is unchanged.
   std::sort(entries_.begin(), entries_.end(),
             [&](const Entry& a, const Entry& b) {
+              if (a.norm != b.norm) return a.norm < b.norm;
               return key_of(a).compare(key_of(b)) < 0;
             });
   if (config_.metrics != nullptr) {
@@ -279,18 +381,18 @@ Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
       const Slice key = key_of(entries_[i]);
       Slice payload = TupleFieldFromRaw(
           Slice(pool_.data() + entries_[i].offset, entries_[i].size), 2, 1);
-      std::string acc;
-      combiner_.init(payload, &acc);
+      combiner_.init(payload, &acc_);
       size_t j = i + 1;
-      while (j < entries_.size() && key_of(entries_[j]) == key) {
+      while (j < entries_.size() && entries_[j].norm == entries_[i].norm &&
+             key_of(entries_[j]) == key) {
         combiner_.step(
             TupleFieldFromRaw(
                 Slice(pool_.data() + entries_[j].offset, entries_[j].size), 2,
                 1),
-            &acc);
+            &acc_);
         ++j;
       }
-      const Slice out[2] = {key, Slice(acc)};
+      const Slice out[2] = {key, Slice(acc_)};
       PREGELIX_RETURN_NOT_OK(fn(out));
       i = j;
     }
@@ -330,10 +432,11 @@ Status ExternalSortGrouper::Finish(const TupleEmitFn& emit) {
   if (run_paths_.empty()) {
     // Fully in-memory: a single sorted drain, applying the final transform.
     if (combiner_.valid() && combiner_.finish) {
+      std::string finished_acc;
       return DrainBatchSorted([&](std::span<const Slice> fields) {
-        std::string acc = fields[1].ToString();
-        combiner_.finish(&acc);
-        const Slice out[2] = {fields[0], Slice(acc)};
+        finished_acc.assign(fields[1].data(), fields[1].size());
+        combiner_.finish(&finished_acc);
+        const Slice out[2] = {fields[0], Slice(finished_acc)};
         return emit(out);
       });
     }
@@ -364,54 +467,107 @@ HashSortGrouper::~HashSortGrouper() {
   }
 }
 
+size_t HashSortGrouper::TableBytes() const {
+  return key_arena_.capacity() + groups_.capacity() * sizeof(Group) +
+         slots_.capacity() * sizeof(uint32_t) +
+         static_cast<size_t>(acc_bytes_ > 0 ? acc_bytes_ : 0);
+}
+
+void HashSortGrouper::GrowSlots() {
+  const size_t n = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(n, 0);
+  const size_t mask = n - 1;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    size_t s = groups_[g].hash & mask;
+    while (slots_[s] != 0) s = (s + 1) & mask;
+    slots_[s] = static_cast<uint32_t>(g + 1);
+  }
+}
+
 Status HashSortGrouper::Add(std::span<const Slice> fields) {
   PREGELIX_CHECK(!finished_);
   const Slice key = fields[0];
   const Slice payload = fields[1];
-  auto it = table_.find(key.ToString());
-  if (it == table_.end()) {
-    std::string acc;
-    combiner_.init(payload, &acc);
-    table_bytes_ += key.size() + acc.size() + 64;  // table overhead estimate
-    table_.emplace(key.ToString(), std::move(acc));
-  } else {
-    const size_t before = it->second.size();
-    combiner_.step(payload, &it->second);
-    table_bytes_ += it->second.size() - before;
+  if (slots_.empty()) GrowSlots();
+  const uint64_t h = SliceHash{}(key);
+  const size_t mask = slots_.size() - 1;
+  size_t s = h & mask;
+  while (slots_[s] != 0) {
+    Group& g = groups_[slots_[s] - 1];
+    if (g.hash == h && GroupKey(g) == key) {
+      // Hit path: combiner step into the resident accumulator; no lookup
+      // key is materialized and nothing is allocated here. The size delta
+      // is signed — a step may shrink the accumulator (e.g. a min-combiner
+      // adopting a shorter payload).
+      const int64_t before = static_cast<int64_t>(g.acc.size());
+      combiner_.step(payload, &g.acc);
+      acc_bytes_ += static_cast<int64_t>(g.acc.size()) - before;
+      if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
+      return Status::OK();
+    }
+    s = (s + 1) & mask;
   }
+  // Miss: append the key to the arena and open a new group in slot s.
+  Group g;
+  g.hash = h;
+  g.norm = NormalizedKeyPrefix(key);
+  g.key_offset = static_cast<uint32_t>(key_arena_.size());
+  g.key_size = static_cast<uint32_t>(key.size());
+  combiner_.init(payload, &g.acc);
+  acc_bytes_ += static_cast<int64_t>(g.acc.size());
+  key_arena_.append(key.data(), key.size());
+  groups_.push_back(std::move(g));
+  slots_[s] = static_cast<uint32_t>(groups_.size());
+  if (groups_.size() * 4 >= slots_.size() * 3) GrowSlots();
   if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
-  if (table_bytes_ > config_.memory_budget_bytes) {
+  if (TableBytes() > config_.memory_budget_bytes) {
     PREGELIX_RETURN_NOT_OK(SpillTable());
   }
   return Status::OK();
 }
 
+void HashSortGrouper::SortedOrder(std::vector<uint32_t>* order) const {
+  order->resize(groups_.size());
+  std::iota(order->begin(), order->end(), 0u);
+  std::sort(order->begin(), order->end(), [&](uint32_t a, uint32_t b) {
+    if (groups_[a].norm != groups_[b].norm) {
+      return groups_[a].norm < groups_[b].norm;
+    }
+    return GroupKey(groups_[a]).compare(GroupKey(groups_[b])) < 0;
+  });
+}
+
 Status HashSortGrouper::SpillTable() {
-  if (table_.empty()) return Status::OK();
+  if (groups_.empty()) return Status::OK();
   TraceSpan span(config_.tracer, "hashsort.run_generation",
                  trace_cat::kDataflow, config_.worker, config_.metrics);
-  span.AddArg("groups", static_cast<int64_t>(table_.size()));
+  span.AddArg("groups", static_cast<int64_t>(groups_.size()));
   span.AddArg("run", static_cast<int64_t>(next_run_id_));
-  std::vector<const std::pair<const std::string, std::string>*> sorted;
-  sorted.reserve(table_.size());
-  for (const auto& kv : table_) sorted.push_back(&kv);
-  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
-    return Slice(a->first).compare(Slice(b->first)) < 0;
-  });
+  std::vector<uint32_t> order;
+  SortedOrder(&order);
   if (config_.metrics != nullptr) {
-    config_.metrics->AddCpuOps(sorted.size());
+    config_.metrics->AddCpuOps(order.size());
   }
   const std::string path =
       config_.scratch_prefix + "-hrun-" + std::to_string(next_run_id_++);
   internal_sort::RunWriter writer(config_, path);
-  for (const auto* kv : sorted) {
-    const Slice out[2] = {Slice(kv->first), Slice(kv->second)};
+  for (uint32_t g : order) {
+    const Slice out[2] = {GroupKey(groups_[g]), Slice(groups_[g].acc)};
     PREGELIX_RETURN_NOT_OK(writer.Append(out));
   }
   PREGELIX_RETURN_NOT_OK(writer.Finish());
   run_paths_.push_back(path);
-  table_.clear();
-  table_bytes_ = 0;
+  // Spilling means the table outgrew the budget. TableBytes() charges
+  // capacities, so the memory must actually be released here — a cleared
+  // table that keeps its high-water capacity would sit at the budget
+  // ceiling forever and degrade into spilling a one-group run per Add.
+  groups_.clear();
+  groups_.shrink_to_fit();
+  key_arena_.clear();
+  key_arena_.shrink_to_fit();
+  slots_.clear();
+  slots_.shrink_to_fit();
+  acc_bytes_ = 0;
   return Status::OK();
 }
 
@@ -419,20 +575,19 @@ Status HashSortGrouper::Finish(const TupleEmitFn& emit) {
   PREGELIX_CHECK(!finished_);
   finished_ = true;
   if (run_paths_.empty()) {
-    std::vector<const std::pair<const std::string, std::string>*> sorted;
-    sorted.reserve(table_.size());
-    for (const auto& kv : table_) sorted.push_back(&kv);
-    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
-      return Slice(a->first).compare(Slice(b->first)) < 0;
-    });
-    for (const auto* kv : sorted) {
-      std::string acc = kv->second;
+    std::vector<uint32_t> order;
+    SortedOrder(&order);
+    std::string acc;
+    for (uint32_t g : order) {
+      acc.assign(groups_[g].acc.data(), groups_[g].acc.size());
       if (combiner_.finish) combiner_.finish(&acc);
-      const Slice out[2] = {Slice(kv->first), Slice(acc)};
+      const Slice out[2] = {GroupKey(groups_[g]), Slice(acc)};
       PREGELIX_RETURN_NOT_OK(emit(out));
     }
-    table_.clear();
-    table_bytes_ = 0;
+    groups_.clear();
+    key_arena_.clear();
+    std::fill(slots_.begin(), slots_.end(), 0);
+    acc_bytes_ = 0;
     return Status::OK();
   }
   PREGELIX_RETURN_NOT_OK(SpillTable());
@@ -460,8 +615,7 @@ Status PreclusteredGrouper::Add(const Slice& key, const Slice& payload,
   PREGELIX_CHECK(!has_group_ || Slice(current_key_).compare(key) < 0)
       << "preclustered group-by received unsorted input";
   PREGELIX_RETURN_NOT_OK(EmitCurrent(emit));
-  current_key_ = key.ToString();
-  acc_.clear();
+  current_key_.assign(key.data(), key.size());
   combiner_.init(payload, &acc_);
   has_group_ = true;
   return Status::OK();

@@ -1,11 +1,11 @@
 #ifndef PREGELIX_DATAFLOW_OPS_SORT_H_
 #define PREGELIX_DATAFLOW_OPS_SORT_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -75,19 +75,27 @@ class ExternalSortGrouper {
   Status SpillBatch();
   /// Sorts the in-memory batch and feeds it (combined if configured) to fn.
   Status DrainBatchSorted(const TupleEmitFn& fn);
+  /// Bytes the in-memory batch charges against memory_budget_bytes: pool
+  /// bytes plus the entry array's real footprint (capacity, not size).
+  size_t BatchBytes() const;
 
   SortConfig config_;
   GroupCombiner combiner_;
 
-  // In-memory batch: raw tuple bytes in a pool, one (offset, size) entry per
-  // tuple. Sorting permutes the entry array only.
+  // In-memory batch: raw tuple bytes in a pool, one entry per tuple carrying
+  // the tuple's (offset, size) plus its normalized key prefix, cached at Add
+  // time so the common sort comparison is a single integer compare (the full
+  // key is only decoded from the pool on a prefix tie). Sorting permutes the
+  // entry array only.
   std::string pool_;
   struct Entry {
+    uint64_t norm;  ///< NormalizedKeyPrefix of the key field
     uint32_t offset;
     uint32_t size;
   };
   std::vector<Entry> entries_;
   std::vector<std::string> run_paths_;
+  std::string acc_;  ///< reused accumulator buffer for combined drains
   uint64_t next_run_id_ = 0;
   bool finished_ = false;
 };
@@ -97,6 +105,14 @@ class ExternalSortGrouper {
 /// when the table exceeds its budget it is emptied as one sorted, combined
 /// run; the merge phase is shared with the sort-based group-by. Faster than
 /// sort-based when the number of distinct keys is small.
+///
+/// The table is a flat open-addressing index (slot array of group indices)
+/// over an insertion-ordered group vector whose keys live in one arena, so
+/// the hit path — hash, probe, combiner step into the resident accumulator
+/// — performs no heap allocation (fixed-width accumulators stay in the
+/// string's inline buffer). Memory is accounted from the real footprint of
+/// the arena, the group and slot arrays, and a signed running total of
+/// accumulator bytes (a combiner step may shrink its accumulator).
 class HashSortGrouper {
  public:
   HashSortGrouper(const SortConfig& config, GroupCombiner combiner);
@@ -108,12 +124,31 @@ class HashSortGrouper {
   int runs_spilled() const { return static_cast<int>(run_paths_.size()); }
 
  private:
+  struct Group {
+    uint64_t hash;        ///< full 64-bit key hash (probe filter)
+    uint64_t norm;        ///< NormalizedKeyPrefix, cached for the spill sort
+    uint32_t key_offset;  ///< into key_arena_
+    uint32_t key_size;
+    std::string acc;
+  };
+
+  Slice GroupKey(const Group& g) const {
+    return Slice(key_arena_.data() + g.key_offset, g.key_size);
+  }
+  /// Real bytes held by the table against memory_budget_bytes.
+  size_t TableBytes() const;
+  /// Doubles the slot array and rehashes the group indices into it.
+  void GrowSlots();
+  /// Sorted-by-key view of groups_ (indices), using the cached norm keys.
+  void SortedOrder(std::vector<uint32_t>* order) const;
   Status SpillTable();
 
   SortConfig config_;
   GroupCombiner combiner_;
-  std::unordered_map<std::string, std::string> table_;
-  size_t table_bytes_ = 0;
+  std::string key_arena_;        ///< group keys, back to back
+  std::vector<Group> groups_;    ///< insertion order
+  std::vector<uint32_t> slots_;  ///< open addressing; group index + 1, 0 empty
+  int64_t acc_bytes_ = 0;        ///< signed sum of acc sizes (steps may shrink)
   std::vector<std::string> run_paths_;
   uint64_t next_run_id_ = 0;
   bool finished_ = false;
@@ -136,6 +171,8 @@ class PreclusteredGrouper {
 
   GroupCombiner combiner_;
   WorkerMetrics* metrics_;
+  // Group-key and accumulator buffers are assigned into, never replaced, so
+  // a steady stream of groups reuses their capacity instead of allocating.
   std::string current_key_;
   std::string acc_;
   bool has_group_ = false;

@@ -29,7 +29,8 @@ class TupleRunWriter {
       PREGELIX_RETURN_NOT_OK(RunFileWriter::Open(path_, metrics_, &file_));
     }
     if (!appender_.Append(fields)) {
-      PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.Take()));
+      PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.FinalizeView()));
+      appender_.Reset();
       if (!appender_.Append(fields)) {
         return Status::Internal("tuple cannot fit in an empty frame");
       }
@@ -44,7 +45,8 @@ class TupleRunWriter {
       PREGELIX_RETURN_NOT_OK(RunFileWriter::Open(path_, metrics_, &file_));
     }
     if (!appender_.empty()) {
-      PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.Take()));
+      PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.FinalizeView()));
+      appender_.Reset();
     }
     return file_->Finish();
   }

@@ -107,11 +107,21 @@ size_t FreeSpace(const char* p) {
 }
 
 /// Binary search: index of the first slot with key >= target, in [0, n].
+/// Fast path shared with the sort/merge kernels: the target's 8-byte
+/// normalized key prefix (slice.h) is computed once, each probed cell's
+/// prefix is one unaligned load + byte swap, and the full memcmp runs only
+/// on a prefix tie — with the 8-byte ordered vertex-id keys of the vertex
+/// relation nearly every probe is settled by the integer compare.
 int LowerBound(const char* p, const Slice& target) {
+  const uint64_t target_norm = NormalizedKeyPrefix(target);
   int lo = 0, hi = NumEntries(p);
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
-    if (CellKey(p, mid).compare(target) < 0) {
+    const Slice key = CellKey(p, mid);
+    const uint64_t key_norm = NormalizedKeyPrefix(key);
+    const bool below = key_norm != target_norm ? key_norm < target_norm
+                                               : key.compare(target) < 0;
+    if (below) {
       lo = mid + 1;
     } else {
       hi = mid;

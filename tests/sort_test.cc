@@ -1,13 +1,36 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/serde.h"
 #include "common/temp_dir.h"
 #include "dataflow/ops/sort.h"
+
+// Binary-wide counting allocator: every global operator new bumps a counter,
+// so tests can assert that a code path performs zero heap allocations (the
+// "no per-tuple allocation on the group-by hit path" guarantee, DESIGN.md
+// §13). Replacing these in one TU replaces them for the whole test binary.
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pregelix {
 namespace {
@@ -332,6 +355,213 @@ TEST_F(SortTest, EmptyInputProducesNothing) {
                   })
                   .ok());
   EXPECT_EQ(count, 0);
+}
+
+// Hand-built runs fed straight into internal_sort::MergeRuns: one group's
+// fragments sit in three different runs (two of which merge in different
+// *passes* at fan-in 2), plus an empty run in the middle. With the
+// order-sensitive ListCombiner the final accumulator proves both that
+// combining works across run AND pass boundaries and that the loser tree
+// breaks key ties by cursor index (run order), i.e. gather order is the
+// run-creation order — the stability contract the Pregel gather path
+// depends on.
+TEST_F(SortTest, MergeRunsCombinesAcrossRunAndPassBoundaries) {
+  SortConfig config = MakeConfig(1 << 20);
+  config.merge_fanin = 2;
+  const std::string k5 = OrderedKeyI64(5), k7 = OrderedKeyI64(7);
+  auto write_run = [&](int id,
+                       std::vector<std::pair<const std::string*, std::string>>
+                           tuples) {
+    const std::string path = dir_.path() + "/hand-run-" + std::to_string(id);
+    internal_sort::RunWriter writer(config, path);
+    for (const auto& [key, payload] : tuples) {
+      const std::string item = ListItem(payload);
+      const Slice t[2] = {Slice(*key), Slice(item)};
+      EXPECT_TRUE(writer.Append(t).ok());
+    }
+    EXPECT_TRUE(writer.Finish().ok());
+    return path;
+  };
+  std::vector<std::string> runs;
+  runs.push_back(write_run(0, {{&k5, "a"}}));
+  runs.push_back(write_run(1, {{&k5, "b"}}));
+  runs.push_back(write_run(2, {}));  // empty run: exhausted leaf at Init
+  runs.push_back(write_run(3, {{&k5, "c"}, {&k7, "x"}}));
+  runs.push_back(write_run(4, {{&k7, "y"}}));
+  std::vector<std::pair<int64_t, std::vector<std::string>>> got;
+  ASSERT_TRUE(internal_sort::MergeRuns(
+                  config, ListCombiner(), std::move(runs),
+                  [&](std::span<const Slice> fields) {
+                    std::vector<std::string> items;
+                    Slice acc = fields[1], item;
+                    while (GetLengthPrefixed(&acc, &item))
+                      items.push_back(item.ToString());
+                    got.emplace_back(DecodeOrderedI64(fields[0].data()),
+                                     std::move(items));
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 5);
+  EXPECT_EQ(got[0].second, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(got[1].first, 7);
+  EXPECT_EQ(got[1].second, (std::vector<std::string>{"x", "y"}));
+}
+
+// Duplicate-heavy input through a tiny budget and fan-in 2: every group's
+// tuples straddle many runs and several merge passes, and the combined
+// result must still be one exact minimum per key.
+TEST_F(SortTest, CombinerGroupsStraddleRunsAndPasses) {
+  SortConfig config = MakeConfig(512);
+  config.merge_fanin = 2;
+  ExternalSortGrouper grouper(config, MinDoubleCombiner());
+  std::map<int64_t, double> expected;
+  Random rnd(21);
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t dest = static_cast<int64_t>(rnd.Uniform(10));
+    const double dist = rnd.NextDouble() * 100;
+    auto it = expected.find(dest);
+    if (it == expected.end() || dist < it->second) expected[dest] = dist;
+    const std::string k = OrderedKeyI64(dest);
+    std::string payload;
+    PutDouble(&payload, dist);
+    const Slice t[2] = {Slice(k), Slice(payload)};
+    ASSERT_TRUE(grouper.Add(t).ok());
+  }
+  // Way more runs than fanin^2 so at least three merge passes happen.
+  EXPECT_GT(grouper.runs_spilled(), 8);
+  int groups = 0;
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    const int64_t dest = DecodeOrderedI64(fields[0].data());
+                    EXPECT_DOUBLE_EQ(DecodeDouble(fields[1].data()),
+                                     expected[dest]);
+                    ++groups;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(groups, static_cast<int>(expected.size()));
+}
+
+// Regression (S1): a combiner step that SHRINKS the accumulator. The old
+// byte accounting subtracted sizes as size_t, so a shrink underflowed the
+// counter to ~2^64, every later Add thought the table was over budget, and
+// the grouper degenerated into spilling a run per tuple. With a generous
+// budget there must be no spills at all.
+TEST_F(SortTest, HashSortShrinkingAccumulatorDoesNotUnderflowBudget) {
+  GroupCombiner last;  // acc := most recent payload (shrinks and grows)
+  last.init = [](const Slice& p, std::string* acc) {
+    acc->assign(p.data(), p.size());
+  };
+  last.step = [](const Slice& p, std::string* acc) {
+    acc->assign(p.data(), p.size());
+  };
+  HashSortGrouper grouper(MakeConfig(1 << 20), last);
+  const std::string long_payload(64, 'L');
+  const std::string short_payload(8, 's');
+  for (int round = 0; round < 200; ++round) {
+    for (int64_t dest = 0; dest < 16; ++dest) {
+      const std::string k = OrderedKeyI64(dest);
+      const Slice& p = (round % 2 == 0) ? Slice(long_payload)
+                                        : Slice(short_payload);
+      const Slice t[2] = {Slice(k), p};
+      ASSERT_TRUE(grouper.Add(t).ok());
+    }
+  }
+  EXPECT_EQ(grouper.runs_spilled(), 0);
+  int groups = 0;
+  ASSERT_TRUE(grouper
+                  .Finish([&](std::span<const Slice> fields) {
+                    EXPECT_EQ(fields[1].ToString(), short_payload);
+                    ++groups;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(groups, 16);
+}
+
+// S2: the sort grouper charges the Entry array's capacity against the
+// budget, not just the tuple bytes. With empty payloads the per-tuple pool
+// cost is 16 bytes but the honest cost is ~32+ (Entry capacity), so spills
+// must happen roughly twice as often as a pool-bytes-only accounting would
+// predict: 640 tuples at 16 pool bytes each under a 1 KiB budget would
+// yield 10 runs; honest accounting yields strictly more.
+TEST_F(SortTest, SortGrouperChargesEntryArrayToBudget) {
+  ExternalSortGrouper sorter(MakeConfig(1024));
+  for (int i = 0; i < 640; ++i) {
+    const std::string k = OrderedKeyI64(i);
+    const Slice t[2] = {Slice(k), Slice()};
+    ASSERT_TRUE(sorter.Add(t).ok());
+  }
+  EXPECT_GT(sorter.runs_spilled(), 10);
+  int64_t next = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](std::span<const Slice> fields) {
+                    EXPECT_EQ(DecodeOrderedI64(fields[0].data()), next++);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(next, 640);
+}
+
+// The in-memory hash group-by hit path must not allocate: probing is a
+// flat-array walk, the key is compared in place (transparent hash/eq, no
+// materialized lookup key), and the min-combiner folds into the resident
+// SSO accumulator. Counted with the binary-wide allocator hook above.
+TEST_F(SortTest, HashSortHitPathDoesNotAllocate) {
+  HashSortGrouper grouper(MakeConfig(1 << 20), MinDoubleCombiner());
+  std::vector<std::string> keys;
+  std::vector<std::string> payloads;
+  for (int64_t dest = 0; dest < 64; ++dest) {
+    keys.push_back(OrderedKeyI64(dest));
+    std::string payload;
+    PutDouble(&payload, 100.0 + static_cast<double>(dest));
+    payloads.push_back(payload);
+  }
+  // Two warm-up rounds: the first creates every group, the second verifies
+  // the table is steady (no slot growth pending).
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const Slice t[2] = {Slice(keys[i]), Slice(payloads[i])};
+      ASSERT_TRUE(grouper.Add(t).ok());
+    }
+  }
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int round = 0; round < 100; ++round) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const Slice t[2] = {Slice(keys[i]), Slice(payloads[i])};
+      if (!grouper.Add(t).ok()) FAIL() << "Add failed";
+    }
+  }
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "hit path allocated";
+}
+
+// S6: the merge refill boundary is a fault point. Arming it with an error
+// makes a spilling Finish surface the injected status instead of OK.
+TEST_F(SortTest, MergeRefillFaultPointSurfacesInjectedError) {
+  fault::FaultSpec spec;
+  spec.trigger = fault::Trigger::kNthHit;
+  spec.n = 100;
+  spec.code = StatusCode::kIoError;
+  spec.message = "injected merge refill failure";
+  fault::FaultInjector::Global().Arm("sort.merge.refill", spec);
+  ExternalSortGrouper sorter(MakeConfig(1024));
+  Random rnd(22);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string k =
+        OrderedKeyI64(static_cast<int64_t>(rnd.Uniform(1000)));
+    const Slice t[2] = {Slice(k), Slice("p")};
+    ASSERT_TRUE(sorter.Add(t).ok());
+  }
+  ASSERT_GT(sorter.runs_spilled(), 1);
+  const Status s =
+      sorter.Finish([](std::span<const Slice>) { return Status::OK(); });
+  fault::FaultInjector::Global().Reset();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.message().find("injected merge refill failure") !=
+              std::string::npos)
+      << s.message();
 }
 
 }  // namespace

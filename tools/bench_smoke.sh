@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke-runs the kernel microbenchmarks for one short iteration and checks
+# that they still emit valid google-benchmark JSON. No timing assertions —
+# this guards "the kernels run and the perf-trajectory artifact stays
+# machine-readable", not any particular number. Wired up as the `bench_smoke`
+# ctest test (tier1 label) and as a stage of tools/check_static.sh.
+#
+# usage: bench_smoke.sh <bench_micro_dataflow binary> <output json>
+
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <bench-binary> <out.json>" >&2
+  exit 2
+fi
+BIN="$1"
+OUT="$2"
+
+# A tiny min_time runs each benchmark for a single iteration batch. (The
+# pinned google-benchmark predates the `--benchmark_min_time=1x` syntax.)
+"$BIN" --benchmark_min_time=0.001 \
+       --benchmark_out="$OUT" --benchmark_out_format=json > /dev/null || {
+  echo "bench_smoke: $BIN failed" >&2
+  exit 1
+}
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+benches = doc.get("benchmarks", [])
+if not benches:
+    sys.exit("bench_smoke: no benchmarks in JSON output")
+for b in benches:
+    if "name" not in b or "real_time" not in b:
+        sys.exit(f"bench_smoke: malformed benchmark entry: {b}")
+print(f"bench_smoke: OK ({len(benches)} benchmarks, valid JSON)")
+EOF

@@ -7,7 +7,9 @@
 #      annotations in src/common/thread_annotations.h
 #   2. clang-tidy over src/ with the checked-in .clang-tidy
 #   3. tools/lint_fault_points.py (fault-point naming + DESIGN.md table)
-#   4. --tsan: additionally build with PREGELIX_SANITIZE=thread and run the
+#   4. bench smoke: one short iteration of the kernel microbenchmarks via
+#      tools/bench_smoke.sh (needs a built build/ tree; skipped otherwise)
+#   5. --tsan: additionally build with PREGELIX_SANITIZE=thread and run the
 #      `tsan`-labeled ctest suites (tier-1 + concurrency_stress_test)
 #
 # Stages whose toolchain is absent (no clang / clang-tidy on the box) are
@@ -99,7 +101,19 @@ else
   fail "lint_fault_points.py"
 fi
 
-# --- 4. Optional: TSan suite ------------------------------------------------
+# --- 4. Bench smoke ---------------------------------------------------------
+note "bench smoke (kernels run, JSON output valid)"
+BENCH_BIN="$REPO/build/bench/bench_micro_dataflow"
+if [ ! -x "$BENCH_BIN" ]; then
+  skip "no built bench_micro_dataflow (build the default tree first)"
+elif "$REPO/tools/bench_smoke.sh" "$BENCH_BIN" \
+     "$REPO/build/BENCH_kernels.json"; then
+  :
+else
+  fail "bench_smoke.sh"
+fi
+
+# --- 5. Optional: TSan suite ------------------------------------------------
 if [ "$RUN_TSAN" = 1 ]; then
   note "ThreadSanitizer suite (PREGELIX_SANITIZE=thread, ctest -L tsan)"
   BUILD_TSAN="$REPO/build-tsan"
