@@ -14,6 +14,9 @@ namespace pregelix {
 namespace bench {
 
 Env::Env() : dir_("pregelix-bench") {
+  // Bench binaries share the harness entry point, so the environment knobs
+  // (PREGELIX_LOG_LEVEL and the metrics export paths) apply to all of them.
+  InitLogLevelFromEnv();
   dfs_ = std::make_unique<DistributedFileSystem>(dir_.Sub("dfs"));
 }
 
@@ -175,11 +178,23 @@ Outcome RunPregelix(Env& env, const Dataset& dataset, Algorithm algorithm,
   // PREGELIX_METRICS_JSON=<file>: dump the registry after every Pregelix run
   // (runs share the process-wide registry, so the file accumulates the whole
   // bench binary's counters; the last write wins and is cumulative).
-  if (const char* path = getenv("PREGELIX_METRICS_JSON")) {
+  const char* json_path = getenv("PREGELIX_METRICS_JSON");
+  const char* prom_path = getenv("PREGELIX_METRICS_PROM");
+  if (json_path != nullptr || prom_path != nullptr) {
     cluster.PublishMetrics();
-    Status ms = cluster.registry()->ExportJson(path);
+  }
+  if (json_path != nullptr) {
+    Status ms = cluster.registry()->ExportJson(json_path);
     if (!ms.ok()) {
       PLOG(Warn) << "metrics json write failed: " << ms.ToString();
+    }
+  }
+  // PREGELIX_METRICS_PROM=<file>: same registry, Prometheus text exposition
+  // (node_exporter textfile-collector friendly).
+  if (prom_path != nullptr) {
+    Status ms = cluster.registry()->ExportPrometheus(prom_path);
+    if (!ms.ok()) {
+      PLOG(Warn) << "metrics prom write failed: " << ms.ToString();
     }
   }
   return outcome;

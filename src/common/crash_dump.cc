@@ -1,0 +1,81 @@
+#include "common/crash_dump.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+
+namespace pregelix {
+namespace crash_dump {
+
+namespace {
+
+// Configured targets. Plain pointers + strings behind an atomic "configured"
+// flag: Configure runs before any worker threads exist, and the dump paths
+// (atexit, fatal handler) are single-shot via g_dumped.
+struct Targets {
+  const Tracer* tracer = nullptr;
+  std::string trace_path;
+  const MetricsRegistry* registry = nullptr;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+};
+
+Targets& targets() {
+  static Targets* t = new Targets();  // leaked: must survive atexit order
+  return *t;
+}
+
+std::atomic<bool> g_hooks_installed{false};
+std::atomic<bool> g_dumped{false};
+
+void AtExitDump() { DumpNow(); }
+
+}  // namespace
+
+void DumpNow() {
+  if (g_dumped.exchange(true)) return;
+  const Targets& t = targets();
+  if (t.tracer != nullptr && !t.trace_path.empty()) {
+    const Status s = t.tracer->ExportChromeTrace(t.trace_path);
+    if (!s.ok()) {
+      PLOG(Warn) << "crash-dump trace export failed: " << s.ToString();
+    }
+  }
+  if (t.registry != nullptr) {
+    if (!t.metrics_json_path.empty()) {
+      const Status s = t.registry->ExportJson(t.metrics_json_path);
+      if (!s.ok()) {
+        PLOG(Warn) << "crash-dump metrics export failed: " << s.ToString();
+      }
+    }
+    if (!t.metrics_prom_path.empty()) {
+      const Status s = t.registry->ExportPrometheus(t.metrics_prom_path);
+      if (!s.ok()) {
+        PLOG(Warn) << "crash-dump metrics export failed: " << s.ToString();
+      }
+    }
+  }
+}
+
+void Configure(const Tracer* tracer, const std::string& trace_path,
+               const MetricsRegistry* registry,
+               const std::string& metrics_json_path,
+               const std::string& metrics_prom_path) {
+  Targets& t = targets();
+  t.tracer = tracer;
+  t.trace_path = trace_path;
+  t.registry = registry;
+  t.metrics_json_path = metrics_json_path;
+  t.metrics_prom_path = metrics_prom_path;
+  g_dumped = false;  // re-arming after an explicit DumpNow is intentional
+  if (!g_hooks_installed.exchange(true)) {
+    std::atexit(AtExitDump);
+    SetFatalHandler(&DumpNow);
+  }
+}
+
+}  // namespace crash_dump
+}  // namespace pregelix

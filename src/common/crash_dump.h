@@ -1,0 +1,41 @@
+#ifndef PREGELIX_COMMON_CRASH_DUMP_H_
+#define PREGELIX_COMMON_CRASH_DUMP_H_
+
+#include <string>
+
+namespace pregelix {
+
+class Tracer;
+class MetricsRegistry;
+
+/// Best-effort observability flush on the way out of a dying process.
+///
+/// Once configured, the trace buffer and/or metrics registry are written to
+/// their files on BOTH exit paths:
+///   - normal/abnormal exit() (atexit hook), so a driver that bails out
+///     mid-job with exit(1) still leaves its trace behind, and
+///   - fatal log messages (PREGELIX_CHECK failures) via SetFatalHandler,
+///     which runs before abort().
+/// DumpNow() is idempotent — whichever path fires first wins, and callers
+/// that already export explicitly on success simply make the hook a no-op.
+/// The pointed-to tracer/registry must outlive the process (the CLI and
+/// bench harness pass the cluster-owned instances, which live until exit).
+namespace crash_dump {
+
+/// Installs (or re-points) the dump targets. Null tracer/registry or an
+/// empty path skips that half. The atexit + fatal hooks are registered on
+/// the first call only.
+void Configure(const Tracer* tracer, const std::string& trace_path,
+               const MetricsRegistry* registry,
+               const std::string& metrics_json_path,
+               const std::string& metrics_prom_path = std::string());
+
+/// Flushes immediately (first caller wins; later calls are no-ops).
+/// Explicitly calling this after a successful export makes the exit hooks
+/// silent.
+void DumpNow();
+
+}  // namespace crash_dump
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_CRASH_DUMP_H_

@@ -12,6 +12,7 @@ namespace pregelix {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<FatalHandler> g_fatal_handler{nullptr};
 Mutex g_log_mutex{"log", LockRank::kLogging};
 
 const char* LevelName(LogLevel level) {
@@ -31,6 +32,41 @@ const char* LevelName(LogLevel level) {
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 void SetLogLevel(LogLevel level) { g_log_level = static_cast<int>(level); }
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("PREGELIX_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    SetLogLevel(level);
+  } else {
+    PLOG(Warn) << "ignoring unparsable PREGELIX_LOG_LEVEL=\"" << env
+               << "\" (want debug|info|warn|error)";
+  }
+}
+
+void SetFatalHandler(FatalHandler handler) { g_fatal_handler = handler; }
 
 namespace internal_logging {
 
@@ -67,6 +103,10 @@ LogMessage::~LogMessage() {
     std::cerr << stream_.str() << std::endl;
   }
   if (fatal_) {
+    // Give the crash-dump hook one shot at flushing traces/metrics; it is
+    // cleared before running so a fatal error inside it cannot recurse.
+    FatalHandler handler = g_fatal_handler.exchange(nullptr);
+    if (handler != nullptr) handler();
     std::abort();
   }
 }

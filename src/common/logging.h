@@ -15,6 +15,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Parses "debug" / "info" / "warn" / "error" (case-insensitive; "warning"
+/// also accepted) into *out. Returns false on anything else, *out untouched.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Applies the PREGELIX_LOG_LEVEL environment variable (same spellings as
+/// ParseLogLevel) to the global level. Unset or unparsable values leave the
+/// level alone; unparsable values additionally earn a warning. Entry points
+/// (CLI, bench harness) call this before their flag parsing so an explicit
+/// --log-level= flag wins over the environment.
+void InitLogLevelFromEnv();
+
+/// Handler invoked once, before abort, when a fatal log message
+/// (PREGELIX_CHECK failure) fires: the hook crash_dump uses to flush trace
+/// buffers and metrics from a dying process. The handler is cleared before
+/// it runs, so a fatal error inside the handler cannot recurse. Null
+/// uninstalls.
+using FatalHandler = void (*)();
+void SetFatalHandler(FatalHandler handler);
+
 namespace internal_logging {
 
 class LogMessage {

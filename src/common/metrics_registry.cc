@@ -60,6 +60,75 @@ void WriteLabels(std::ostream& os, const MetricLabels& labels) {
   os << "}";
 }
 
+/// Prometheus metric-name sanitization: legal chars are [a-zA-Z0-9_:];
+/// everything else (notably the '.' separators of our naming convention)
+/// becomes '_', and a leading digit gets a '_' prefix.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Label-value escaping per the exposition format: backslash, double quote,
+/// and line feed.
+void AppendPromEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        os << "\\\\";
+        break;
+      case '"':
+        os << "\\\"";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+/// Writes `{k="v",...}` (or nothing when empty), with an optional extra
+/// trailing pair — used for the `le` bound of histogram buckets.
+void WritePromLabels(std::ostream& os, const MetricLabels& labels,
+                     const char* extra_key = nullptr,
+                     const std::string& extra_value = std::string()) {
+  if (labels.kv.empty() && extra_key == nullptr) return;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels.kv) {
+    if (!first) os << ",";
+    first = false;
+    os << PromName(k) << "=\"";
+    AppendPromEscaped(os, v);
+    os << "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) os << ",";
+    os << extra_key << "=\"";
+    AppendPromEscaped(os, extra_value);
+    os << "\"";
+  }
+  os << "}";
+}
+
+/// Inclusive upper bound of histogram bucket i: 0 for bucket 0 (which holds
+/// only the value 0), 2^i - 1 for bucket i >= 1.
+uint64_t BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (uint64_t{1} << i) - 1;
+}
+
 }  // namespace
 
 void MetricLabels::Normalize() {
@@ -114,6 +183,15 @@ uint64_t Histogram::Percentile(double p) const {
     }
   }
   return max();
+}
+
+uint64_t Histogram::SnapshotBuckets(uint64_t out[kNumBuckets]) const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += out[i];
+  }
+  return total;
 }
 
 MetricsRegistry::Entry* MetricsRegistry::GetOrCreateLocked(
@@ -256,6 +334,78 @@ Status MetricsRegistry::ExportJson(const std::string& path) const {
     return Status::IoError("cannot open metrics output " + path);
   }
   WriteJson(out);
+  out.close();
+  if (!out.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  MutexLock lock(&mutex_);
+  // entries_ is keyed name + '\x01' + labels, so all series of one family
+  // are contiguous: emit HELP/TYPE once per family boundary.
+  std::string current_family;
+  bool any_family = false;
+  for (const auto& [key, entry] : entries_) {
+    const std::string pname = PromName(entry.name);
+    if (!any_family || entry.name != current_family) {
+      any_family = true;
+      current_family = entry.name;
+      const char* type = entry.kind == Kind::kCounter   ? "counter"
+                         : entry.kind == Kind::kGauge   ? "gauge"
+                                                        : "histogram";
+      os << "# HELP " << pname << " " << entry.name << "\n";
+      os << "# TYPE " << pname << " " << type << "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << pname;
+        WritePromLabels(os, entry.labels);
+        os << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << pname;
+        WritePromLabels(os, entry.labels);
+        os << " " << entry.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        // Snapshot the buckets once and derive _count from the snapshot so
+        // the +Inf bucket equals _count under concurrent Observe.
+        uint64_t buckets[Histogram::kNumBuckets];
+        const uint64_t total =
+            entry.histogram->SnapshotBuckets(buckets);
+        int highest = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (buckets[i] != 0) highest = i;
+        }
+        uint64_t cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += buckets[i];
+          os << pname << "_bucket";
+          WritePromLabels(os, entry.labels, "le",
+                          std::to_string(BucketUpperBound(i)));
+          os << " " << cumulative << "\n";
+        }
+        os << pname << "_bucket";
+        WritePromLabels(os, entry.labels, "le", "+Inf");
+        os << " " << total << "\n";
+        os << pname << "_sum";
+        WritePromLabels(os, entry.labels);
+        os << " " << entry.histogram->sum() << "\n";
+        os << pname << "_count";
+        WritePromLabels(os, entry.labels);
+        os << " " << total << "\n";
+        break;
+      }
+    }
+  }
+}
+
+Status MetricsRegistry::ExportPrometheus(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open metrics output " + path);
+  }
+  WritePrometheus(out);
   out.close();
   if (!out.good()) return Status::IoError("short write to " + path);
   return Status::OK();

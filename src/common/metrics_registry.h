@@ -96,6 +96,13 @@ class Histogram {
   /// Value at percentile p in [0, 100]. 0 when empty.
   uint64_t Percentile(double p) const;
 
+  /// Copies the bucket counters into `out` (kNumBuckets slots) and returns
+  /// their sum. Exposition derives its `_count` from this sum — not from
+  /// count() — so the `+Inf` bucket always equals `_count` even while
+  /// concurrent Observe calls are mid-flight between the bucket increment
+  /// and the count increment.
+  uint64_t SnapshotBuckets(uint64_t out[kNumBuckets]) const;
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -135,6 +142,14 @@ class MetricsRegistry {
   /// Deterministically ordered by (name, labels).
   void WriteJson(std::ostream& os) const;
   Status ExportJson(const std::string& path) const;
+
+  /// Prometheus text exposition (format version 0.0.4): one HELP/TYPE pair
+  /// per metric family, metric names sanitized to [a-zA-Z0-9_:] ('.' maps
+  /// to '_'), label values escaped (backslash, double quote, newline), and
+  /// histograms rendered as cumulative `_bucket{le="..."}` series over the
+  /// power-of-two bucket bounds plus `+Inf`, `_sum`, and `_count`.
+  void WritePrometheus(std::ostream& os) const;
+  Status ExportPrometheus(const std::string& path) const;
 
   /// Process-wide default instance.
   static MetricsRegistry& Global();

@@ -44,6 +44,7 @@ enum class LockRank : int {
   kBufferCache = 30,     // BufferCache page table / LRU / files
   kExecutorStatus = 40,  // RunJob first-error slot
   kPregelGlobalState = 45,  // JobRuntimeContext pending GS
+  kWatchdog = 48,        // StallWatchdog arm/disarm state
   kTraceRegistry = 50,   // Tracer thread-buffer registry
   kTraceBuffer = 55,     // one Tracer thread buffer
   kFaultInjector = 60,   // FaultInjector point table

@@ -1,6 +1,7 @@
 #include "dataflow/executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -26,6 +27,36 @@ class QueueSource : public FrameSource {
 
  private:
   FrameChannel* channel_;
+};
+
+/// Profiling decorator over an operator input: meters frames/bytes/tuples
+/// into the consumer's OperatorProfile and the receive side of the
+/// connector's EdgeProfile. Only instantiated when the job is profiled.
+class ProfilingSource : public FrameSource {
+ public:
+  ProfilingSource(std::unique_ptr<FrameSource> inner, int field_count,
+                  OperatorProfile* op, EdgeProfile* edge)
+      : inner_(std::move(inner)),
+        accessor_(field_count),
+        op_(op),
+        edge_(edge) {}
+
+  bool Next(std::string* frame) override {
+    if (!inner_->Next(frame)) return false;
+    accessor_.Reset(Slice(*frame));
+    const uint64_t tuples = static_cast<uint64_t>(accessor_.tuple_count());
+    op_->frames_in.fetch_add(1, std::memory_order_relaxed);
+    op_->bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
+    op_->tuples_in.fetch_add(tuples, std::memory_order_relaxed);
+    edge_->tuples_recv.fetch_add(tuples, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<FrameSource> inner_;
+  FrameTupleAccessor accessor_;
+  OperatorProfile* op_;
+  EdgeProfile* edge_;
 };
 
 /// Receiver side of the m-to-n partitioning merging connector: merges the
@@ -135,12 +166,15 @@ class ConnectorSender : public TupleSink {
   ConnectorSender(const ConnectorSpec* spec, std::vector<Destination> dests,
                   int routing_fanout, int src_worker, size_t frame_size,
                   int field_count, WorkerMetrics* metrics,
-                  MetricsRegistry* registry, const std::string& src_op_name)
+                  MetricsRegistry* registry, const std::string& src_op_name,
+                  OperatorProfile* op_profile, EdgeProfile* edge_profile)
       : spec_(spec),
         dests_(std::move(dests)),
         routing_fanout_(routing_fanout),
         src_worker_(src_worker),
-        metrics_(metrics) {
+        metrics_(metrics),
+        op_profile_(op_profile),
+        edge_profile_(edge_profile) {
     appenders_.reserve(dests_.size());
     for (size_t i = 0; i < dests_.size(); ++i) {
       appenders_.emplace_back(frame_size, field_count);
@@ -171,6 +205,10 @@ class ConnectorSender : public TupleSink {
     }
     if (metrics_ != nullptr) metrics_->AddCpuOps(1);
     if (tuples_out_ != nullptr) tuples_out_->Increment();
+    if (op_profile_ != nullptr) {
+      op_profile_->tuples_out.fetch_add(1, std::memory_order_relaxed);
+      edge_profile_->tuples_sent.fetch_add(1, std::memory_order_relaxed);
+    }
     return Status::OK();
   }
 
@@ -195,6 +233,13 @@ class ConnectorSender : public TupleSink {
       frames_out_->Increment();
       bytes_out_->Add(frame.size());
     }
+    if (op_profile_ != nullptr) {
+      op_profile_->frames_out.fetch_add(1, std::memory_order_relaxed);
+      op_profile_->bytes_out.fetch_add(frame.size(),
+                                       std::memory_order_relaxed);
+      edge_profile_->frames.fetch_add(1, std::memory_order_relaxed);
+      edge_profile_->bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+    }
     return dests_[d].channel->Put(std::move(frame));
   }
 
@@ -206,6 +251,8 @@ class ConnectorSender : public TupleSink {
   Counter* tuples_out_ = nullptr;
   Counter* frames_out_ = nullptr;
   Counter* bytes_out_ = nullptr;
+  OperatorProfile* op_profile_;  ///< null when the job runs unprofiled
+  EdgeProfile* edge_profile_;    ///< non-null iff op_profile_ is
   std::vector<FrameTupleAppender> appenders_;
   bool closed_ = false;
 };
@@ -229,9 +276,14 @@ struct ConnectorChannels {
 }  // namespace
 
 Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
-              void* runtime_context) {
+              void* runtime_context, PlanProfile* profile) {
   const ClusterConfig& config = cluster.config();
   std::atomic<bool> abort{false};
+  const auto job_start = std::chrono::steady_clock::now();
+  if (profile != nullptr) {
+    profile->InitFromJob(
+        spec, [&cluster](int p) { return cluster.worker_of_partition(p); });
+  }
 
   // --- Build channels per connector ---------------------------------------
   std::vector<ConnectorChannels> conn_channels(spec.connectors().size());
@@ -326,6 +378,9 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
       PREGELIX_CHECK(EnsureDir(ctx->scratch_dir));
       ctx->config = &config;
       ctx->runtime_context = runtime_context;
+      if (profile != nullptr) {
+        ctx->profile = profile->slot(static_cast<int>(oi), p);
+      }
 
       // Inputs, ordered by dst_input index.
       std::vector<std::pair<int, std::unique_ptr<FrameSource>>> inputs;
@@ -345,6 +400,11 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
               config.frame_size, ctx->metrics);
         } else {
           src = std::make_unique<QueueSource>(cc.at(0, p));
+        }
+        if (profile != nullptr) {
+          src = std::make_unique<ProfilingSource>(
+              std::move(src), c.field_count, ctx->profile,
+              profile->edge_slot(static_cast<int>(ci)));
         }
         inputs.emplace_back(c.dst_input, std::move(src));
       }
@@ -381,11 +441,12 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
         }
         outputs.emplace_back(
             c.src_output,
-            std::make_unique<ConnectorSender>(&c, std::move(dests), fanout,
-                                              ctx->worker, config.frame_size,
-                                              c.field_count, ctx->metrics,
-                                              ctx->registry,
-                                              entry.descriptor->name()));
+            std::make_unique<ConnectorSender>(
+                &c, std::move(dests), fanout, ctx->worker, config.frame_size,
+                c.field_count, ctx->metrics, ctx->registry,
+                entry.descriptor->name(), ctx->profile,
+                profile != nullptr ? profile->edge_slot(static_cast<int>(ci))
+                                   : nullptr));
       }
       std::sort(outputs.begin(), outputs.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -416,7 +477,18 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
                        trace_cat::kOperator, task.ctx->worker,
                        task.ctx->metrics);
         span.AddArg("partition", task.partition);
-        s = task.instance->Run(*task.ctx);
+        if (task.ctx->profile != nullptr) {
+          OperatorProfile* prof = task.ctx->profile;
+          prof->activations.fetch_add(1, std::memory_order_relaxed);
+          const auto t0 = std::chrono::steady_clock::now();
+          s = task.instance->Run(*task.ctx);
+          prof->AddWall(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        } else {
+          s = task.instance->Run(*task.ctx);
+        }
       }
       if (s.ok()) {
         // Close outputs (end-of-stream) and drain unread inputs so upstream
@@ -462,6 +534,13 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
       }
       if (!first_error.ok()) break;
     }
+  }
+
+  if (profile != nullptr) {
+    profile->Finalize(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - job_start)
+            .count()));
   }
 
   return first_error;

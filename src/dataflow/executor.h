@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "dataflow/cluster.h"
 #include "dataflow/job.h"
+#include "dataflow/plan_profile.h"
 
 namespace pregelix {
 
@@ -15,8 +16,14 @@ namespace pregelix {
 ///
 /// `runtime_context` is passed through to every TaskContext (the per-job
 /// state hook used by the Pregelix layer).
+///
+/// `profile`, when non-null, turns on plan profiling for this job: the
+/// executor initializes it from the spec, hands each task its
+/// (operator, partition) slot, meters every connector edge, times each
+/// activation, and finalizes the tree (skew + critical path) before
+/// returning. Null costs nothing beyond one pointer test per site.
 Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
-              void* runtime_context = nullptr);
+              void* runtime_context = nullptr, PlanProfile* profile = nullptr);
 
 }  // namespace pregelix
 

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/serde.h"
 #include "dataflow/operator.h"
+#include "dataflow/plan_profile.h"
 #include "io/file.h"
 
 namespace pregelix {
@@ -234,7 +235,9 @@ RunWriter::RunWriter(const SortConfig& config, const std::string& path)
 Status RunWriter::Append(std::span<const Slice> fields) {
   PREGELIX_RETURN_NOT_OK(open_status_);
   if (!appender_.Append(fields)) {
-    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.FinalizeView()));
+    const Slice block = appender_.FinalizeView();
+    bytes_written_ += block.size();
+    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(block));
     appender_.Reset();
     PREGELIX_CHECK(appender_.Append(fields));
   }
@@ -244,7 +247,9 @@ Status RunWriter::Append(std::span<const Slice> fields) {
 Status RunWriter::Finish() {
   PREGELIX_RETURN_NOT_OK(open_status_);
   if (!appender_.empty()) {
-    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(appender_.FinalizeView()));
+    const Slice block = appender_.FinalizeView();
+    bytes_written_ += block.size();
+    PREGELIX_RETURN_NOT_OK(file_->AppendBlock(block));
     appender_.Reset();
   }
   return file_->Finish();
@@ -416,12 +421,18 @@ Status ExternalSortGrouper::SpillBatch() {
                  config_.worker, config_.metrics);
   span.AddArg("tuples", static_cast<int64_t>(entries_.size()));
   span.AddArg("run", static_cast<int64_t>(next_run_id_));
+  if (config_.profile != nullptr) {
+    config_.profile->UpdateMemHwm(BatchBytes());
+  }
   const std::string path =
       config_.scratch_prefix + "-run-" + std::to_string(next_run_id_++);
   internal_sort::RunWriter writer(config_, path);
   PREGELIX_RETURN_NOT_OK(DrainBatchSorted(
       [&](std::span<const Slice> fields) { return writer.Append(fields); }));
   PREGELIX_RETURN_NOT_OK(writer.Finish());
+  if (config_.profile != nullptr) {
+    config_.profile->AddSpill(writer.bytes_written());
+  }
   run_paths_.push_back(path);
   return Status::OK();
 }
@@ -429,6 +440,9 @@ Status ExternalSortGrouper::SpillBatch() {
 Status ExternalSortGrouper::Finish(const TupleEmitFn& emit) {
   PREGELIX_CHECK(!finished_);
   finished_ = true;
+  if (config_.profile != nullptr) {
+    config_.profile->UpdateMemHwm(BatchBytes());
+  }
   if (run_paths_.empty()) {
     // Fully in-memory: a single sorted drain, applying the final transform.
     if (combiner_.valid() && combiner_.finish) {
@@ -543,6 +557,9 @@ Status HashSortGrouper::SpillTable() {
                  trace_cat::kDataflow, config_.worker, config_.metrics);
   span.AddArg("groups", static_cast<int64_t>(groups_.size()));
   span.AddArg("run", static_cast<int64_t>(next_run_id_));
+  if (config_.profile != nullptr) {
+    config_.profile->UpdateMemHwm(TableBytes());
+  }
   std::vector<uint32_t> order;
   SortedOrder(&order);
   if (config_.metrics != nullptr) {
@@ -556,6 +573,9 @@ Status HashSortGrouper::SpillTable() {
     PREGELIX_RETURN_NOT_OK(writer.Append(out));
   }
   PREGELIX_RETURN_NOT_OK(writer.Finish());
+  if (config_.profile != nullptr) {
+    config_.profile->AddSpill(writer.bytes_written());
+  }
   run_paths_.push_back(path);
   // Spilling means the table outgrew the budget. TableBytes() charges
   // capacities, so the memory must actually be released here — a cleared
@@ -574,6 +594,9 @@ Status HashSortGrouper::SpillTable() {
 Status HashSortGrouper::Finish(const TupleEmitFn& emit) {
   PREGELIX_CHECK(!finished_);
   finished_ = true;
+  if (config_.profile != nullptr) {
+    config_.profile->UpdateMemHwm(TableBytes());
+  }
   if (run_paths_.empty()) {
     std::vector<uint32_t> order;
     SortedOrder(&order);

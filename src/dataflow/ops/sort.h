@@ -17,6 +17,8 @@
 
 namespace pregelix {
 
+struct OperatorProfile;  // dataflow/plan_profile.h
+
 /// Streaming consumer of sorted output: called once per tuple, in key order.
 using TupleEmitFn = std::function<Status(std::span<const Slice> fields)>;
 
@@ -47,6 +49,10 @@ struct SortConfig {
   Tracer* tracer = nullptr;  ///< optional; spans for run generation vs merge
   int worker = 0;            ///< worker id stamped on sort spans
   int merge_fanin = 16;
+  /// Plan-profile slot of the driving operator clone (null = unprofiled).
+  /// The groupers record their memory high-water mark at spill/finish
+  /// boundaries and each spilled run's byte volume into it.
+  OperatorProfile* profile = nullptr;
 };
 
 /// External sort with optional early aggregation (paper Section 4
@@ -193,12 +199,16 @@ class RunWriter {
   Status Append(std::span<const Slice> fields);
   Status Finish();
 
+  /// Frame bytes written to the run file so far (complete after Finish).
+  uint64_t bytes_written() const { return bytes_written_; }
+
  private:
   FrameTupleAppender appender_;
   std::unique_ptr<RunFileWriter> file_;
   std::string path_;
   const SortConfig* config_;
   Status open_status_;
+  uint64_t bytes_written_ = 0;
 };
 
 }  // namespace internal_sort

@@ -58,6 +58,17 @@ struct PregelixJobConfig {
   GroupByConnector groupby_connector = GroupByConnector::kUnmerged;
   VertexStorage storage = VertexStorage::kBTree;
 
+  /// Plan profiling (EXPLAIN ANALYZE): collect a per-operator PlanProfile
+  /// for every superstep job, attach it to the SuperstepStats, and keep the
+  /// cumulative job profile on the JobResult. Off by default; off costs one
+  /// null-pointer test per instrumentation site.
+  bool profile_plan = false;
+
+  /// Stall watchdog: warn (log + metrics) when a superstep runs longer than
+  /// `stall_factor` times the trailing-mean superstep wall time. <= 0
+  /// disables the watchdog.
+  double stall_factor = 4.0;
+
   /// Checkpoint every k supersteps (0 = no checkpoints). Paper Section 5.5.
   int checkpoint_interval = 0;
   /// Safety valve; 0 = run until the global halt condition.

@@ -8,6 +8,8 @@
 
 namespace pregelix {
 
+class PlanProfile;
+
 /// The Pregelix plan generator (paper Section 5.7): produces the physical
 /// dataflow jobs for data loading, each Pregel superstep, result writing,
 /// checkpointing, and recovery, honoring the job's physical hints (join
@@ -39,6 +41,12 @@ JobSpec BuildRecoveryJob(JobRuntimeContext* ctx, int64_t superstep);
 
 /// DFS directory of one checkpoint.
 std::string CheckpointDir(const JobRuntimeContext& ctx, int64_t superstep);
+
+/// Annotates a collected PlanProfile with the paper's operator vocabulary
+/// (Vid-merge, left-outer probe, combine group-by D3->D7, aggregation clone
+/// D4/D5, mutation resolve D6 -- Figures 3-5 and 8) so EXPLAIN output reads
+/// like the paper's plan diagrams.
+void AttachPaperPlanLabels(PlanProfile* profile);
 
 }  // namespace pregelix
 

@@ -16,6 +16,7 @@
 #include "io/file.h"
 #include "pregel/plans.h"
 #include "pregel/vertex_format.h"
+#include "pregel/watchdog.h"
 #include "storage/btree.h"
 #include "storage/lsm_btree.h"
 
@@ -97,6 +98,29 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
   const double wall_start = WallSeconds();
   result->superstep_stats.clear();
   result->recoveries = 0;
+  result->plan_profile.reset();
+
+  // EXPLAIN ANALYZE support: one PlanProfile per superstep, merged into a
+  // cumulative job profile. Null when profiling is off — the executor and
+  // kernels then skip every instrumentation site on a pointer test.
+  std::shared_ptr<PlanProfile> cumulative;
+  if (config.profile_plan) cumulative = std::make_shared<PlanProfile>();
+
+  // Flags a superstep that runs far past the trailing-mean wall time while
+  // it is still running (wedged exchange, pathological skew).
+  StallWatchdog watchdog(config.stall_factor, cluster_->registry(),
+                         config.name);
+
+  // Summed buffer-cache hit/miss counters across workers, for per-superstep
+  // hit-ratio deltas in the progress log.
+  auto cache_counts = [this]() -> std::pair<uint64_t, uint64_t> {
+    std::pair<uint64_t, uint64_t> c{0, 0};
+    for (int w = 0; w < cluster_->num_workers(); ++w) {
+      c.first += cluster_->cache(w).hit_count();
+      c.second += cluster_->cache(w).miss_count();
+    }
+    return c;
+  };
 
   auto init_gs_after_load = [&]() -> Status {
     GlobalState gs;
@@ -196,11 +220,20 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     TraceSpan step_span(cluster_->tracer(), "pregel.superstep",
                         trace_cat::kPregel, kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
+    const std::pair<uint64_t, uint64_t> cache_before = cache_counts();
     const double step_wall = WallSeconds();
     JobSpec spec = BuildSuperstepJob(ctx);
-    PREGELIX_RETURN_NOT_OK(RunJob(*cluster_, spec, ctx));
+    std::shared_ptr<PlanProfile> step_profile;
+    if (config.profile_plan) step_profile = std::make_shared<PlanProfile>();
+    watchdog.Arm(superstep);
+    const Status step_status =
+        RunJob(*cluster_, spec, ctx, step_profile.get());
+    watchdog.Disarm(
+        static_cast<uint64_t>((WallSeconds() - step_wall) * 1e9));
+    PREGELIX_RETURN_NOT_OK(step_status);
     const std::vector<MetricsSnapshot> deltas =
         Delta(before, cluster_->SnapshotAll());
+    const std::pair<uint64_t, uint64_t> cache_after = cache_counts();
 
     PREGELIX_RETURN_NOT_OK(AdvanceGlobalState(ctx));
 
@@ -213,6 +246,30 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     stats.used_left_outer_join =
         ctx->current_join == JoinStrategy::kLeftOuter;
     stats.cluster_delta = Sum(deltas);
+    const uint64_t cache_hits = cache_after.first - cache_before.first;
+    const uint64_t cache_misses = cache_after.second - cache_before.second;
+    stats.cache_hit_ratio =
+        cache_hits + cache_misses == 0
+            ? 1.0
+            : static_cast<double>(cache_hits) /
+                  static_cast<double>(cache_hits + cache_misses);
+    if (step_profile != nullptr) {
+      AttachPaperPlanLabels(step_profile.get());
+      stats.bytes_shuffled = step_profile->TotalShuffleBytes();
+      stats.spill_count = step_profile->TotalSpillCount();
+      stats.spill_bytes = step_profile->TotalSpillBytes();
+      cumulative->MergeFrom(*step_profile);
+      stats.profile = std::move(step_profile);
+    } else {
+      stats.bytes_shuffled = stats.cluster_delta.net_bytes;
+    }
+    PLOG(Info) << "superstep " << superstep << " [" << config.name
+               << "]: live=" << stats.live_vertices
+               << " msgs=" << stats.messages << " shuffled_bytes="
+               << stats.bytes_shuffled << " cache_hit="
+               << static_cast<int>(stats.cache_hit_ratio * 100.0 + 0.5)
+               << "% spills=" << stats.spill_count << " join="
+               << (stats.used_left_outer_join ? "left-outer" : "full-outer");
     result->superstep_stats.push_back(stats);
     result->supersteps_sim_seconds += stats.sim_seconds;
 
@@ -259,6 +316,7 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
         Delta(before, cluster_->SnapshotAll()), cost_params_);
   }
 
+  if (cumulative != nullptr) result->plan_profile = std::move(cumulative);
   result->supersteps = ctx->gs.superstep;
   result->final_gs = ctx->gs;
   result->total_sim_seconds = result->load_sim_seconds +

@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "dataflow/cluster.h"
+#include "dataflow/plan_profile.h"
 #include "dfs/dfs.h"
 #include "pregel/job_config.h"
 #include "pregel/program.h"
@@ -26,6 +27,18 @@ struct SuperstepStats {
   /// Join plan executed (interesting under JoinStrategy::kAdaptive).
   bool used_left_outer_join = false;
   MetricsSnapshot cluster_delta;  ///< summed counters across workers
+
+  /// Connector bytes moved this superstep (from the plan profile when
+  /// profiling is on; the cross-worker net-bytes delta otherwise).
+  uint64_t bytes_shuffled = 0;
+  /// Buffer-cache hit ratio over this superstep's accesses (1.0 when the
+  /// superstep touched the cache not at all).
+  double cache_hit_ratio = 1.0;
+  /// Group-by/sort spills this superstep (profiling on; 0 otherwise).
+  uint64_t spill_count = 0;
+  uint64_t spill_bytes = 0;
+  /// Per-operator plan profile of this superstep's job (profiling on).
+  std::shared_ptr<const PlanProfile> profile;
 };
 
 struct JobResult {
@@ -39,6 +52,9 @@ struct JobResult {
   int recoveries = 0;
   GlobalState final_gs;
   std::vector<SuperstepStats> superstep_stats;
+  /// Cumulative plan profile over all supersteps (profiling on): operators
+  /// merged by name, so an adaptive job shows both compute variants.
+  std::shared_ptr<const PlanProfile> plan_profile;
 };
 
 /// The Pregelix client-side driver: plan generator, superstep loop,

@@ -14,11 +14,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "algorithms/algorithms.h"
+#include "common/crash_dump.h"
+#include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/temp_dir.h"
 #include "common/trace.h"
@@ -78,14 +82,93 @@ commands:
       --checkpoint-interval=K   checkpoint every K supersteps (default off)
       --max-supersteps=K        safety bound (default 1000)
       --stats                   print per-superstep statistics
+      --profile                 collect per-operator plan profiles (see explain)
+      --stall-factor=F          warn when a superstep exceeds F x the trailing
+                                mean wall time (default 4, <=0 disables)
       --trace-out=FILE          write a Chrome trace_event JSON (open in
                                 chrome://tracing or ui.perfetto.dev)
       --metrics-json=FILE       write the metrics registry as JSON
+      --metrics-prom=FILE       write the metrics registry in Prometheus
+                                text exposition format
+  explain    run an algorithm with EXPLAIN ANALYZE: all `run` flags, plus an
+             annotated plan tree (per-operator tuple/frame/byte counts, wall
+             time, memory high-water marks, spills, worker skew, critical
+             path) in the paper's operator vocabulary
+      --top=K                   show the K hottest operators (default 3)
+      --profile-json=FILE       export the cumulative plan profile as JSON
+                                (timing-free: byte-identical across runs)
+
+global flags:
+      --log-level=debug|info|warn|error   minimum log level (overrides the
+                                PREGELIX_LOG_LEVEL environment variable)
 )");
   return 2;
 }
 
-Status RunCommand(const Flags& flags) {
+/// The `pregelix explain` report: annotated cumulative plan tree, the
+/// hottest operators, a per-superstep rollup, and the optional
+/// deterministic JSON export.
+Status PrintExplain(const Flags& flags, const JobResult& result) {
+  if (result.plan_profile == nullptr) {
+    return Status::InvalidArgument("explain: no plan profile was collected");
+  }
+  const PlanProfile& profile = *result.plan_profile;
+
+  std::ostringstream tree;
+  profile.RenderTree(tree);
+  printf("\n== EXPLAIN ANALYZE: cumulative superstep plan ==\n%s",
+         tree.str().c_str());
+
+  const int top_k = static_cast<int>(flags.GetInt("top", 3));
+  const std::vector<int> top = profile.TopByWall(top_k);
+  if (!top.empty()) {
+    printf("\n== top %zu operators by wall time ==\n", top.size());
+    for (size_t rank = 0; rank < top.size(); ++rank) {
+      const PlanOperatorProfile& op = profile.ops()[top[rank]];
+      const double share =
+          profile.wall_ns() == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(op.total.wall_ns) /
+                    static_cast<double>(profile.wall_ns());
+      printf("%2zu. %-28s %9.3f ms  (%5.1f%% of plan wall, skew %.2fx%s)\n",
+             rank + 1, op.name.c_str(),
+             static_cast<double>(op.total.wall_ns) / 1e6, share, op.skew,
+             op.on_critical_path ? ", on critical path" : "");
+    }
+  }
+
+  printf("\n== per-superstep rollup ==\n");
+  printf("%-10s %-5s %-10s %-10s %-10s %-14s %-9s %-7s\n", "superstep",
+         "join", "wall-ms", "live", "messages", "shuffled-bytes", "cache-hit",
+         "spills");
+  for (const SuperstepStats& s : result.superstep_stats) {
+    printf("%-10lld %-5s %-10.3f %-10lld %-10lld %-14llu %-9.1f %-7llu\n",
+           static_cast<long long>(s.superstep),
+           s.used_left_outer_join ? "LOJ" : "FOJ", s.wall_seconds * 1e3,
+           static_cast<long long>(s.live_vertices),
+           static_cast<long long>(s.messages),
+           static_cast<unsigned long long>(s.bytes_shuffled),
+           s.cache_hit_ratio * 100.0,
+           static_cast<unsigned long long>(s.spill_count));
+  }
+
+  const std::string json_path = flags.Get("profile-json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot open profile output " + json_path);
+    }
+    // Timing-free export: byte-identical across runs of the same job.
+    profile.WriteJson(out, /*include_timing=*/false);
+    out << "\n";
+    out.close();
+    if (!out.good()) return Status::IoError("short write to " + json_path);
+    printf("\nplan profile in %s\n", json_path.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunCommand(const Flags& flags, bool explain) {
   DistributedFileSystem dfs(flags.Get("dfs"));
   TempDir scratch("pregelix-cli");
 
@@ -96,14 +179,23 @@ Status RunCommand(const Flags& flags) {
   config.temp_root = scratch.Sub("cluster");
   const std::string trace_out = flags.Get("trace-out");
   const std::string metrics_json = flags.Get("metrics-json");
-  Tracer tracer;
-  MetricsRegistry registry;
+  const std::string metrics_prom = flags.Get("metrics-prom");
+  // Deliberately leaked: the crash-dump exit hooks may fire after this
+  // function (and main) return, and they read these objects.
+  Tracer& tracer = *new Tracer();
+  MetricsRegistry& registry = *new MetricsRegistry();
   if (!trace_out.empty()) {
     tracer.Enable();
     config.tracer = &tracer;
   }
-  if (!metrics_json.empty()) {
+  if (!metrics_json.empty() || !metrics_prom.empty()) {
     config.metrics_registry = &registry;
+  }
+  if (!trace_out.empty() || !metrics_json.empty() || !metrics_prom.empty()) {
+    // Flush observability output even when the process dies abnormally
+    // (exit() mid-job or a PREGELIX_CHECK abort).
+    crash_dump::Configure(&tracer, trace_out, &registry, metrics_json,
+                          metrics_prom);
   }
   SimulatedCluster cluster(config);
   PregelixRuntime runtime(&cluster, &dfs);
@@ -114,6 +206,10 @@ Status RunCommand(const Flags& flags) {
   job.max_supersteps = static_cast<int>(flags.GetInt("max-supersteps", 1000));
   job.checkpoint_interval =
       static_cast<int>(flags.GetInt("checkpoint-interval", 0));
+  job.profile_plan = explain || flags.Has("profile");
+  if (flags.Has("stall-factor")) {
+    job.stall_factor = std::stod(flags.Get("stall-factor"));
+  }
 
   const std::string join = flags.Get("join", "fullouter");
   job.join = join == "leftouter" ? JoinStrategy::kLeftOuter
@@ -173,10 +269,20 @@ Status RunCommand(const Flags& flags) {
            static_cast<unsigned long long>(tracer.event_count()),
            trace_out.c_str());
   }
-  if (!metrics_json.empty()) {
+  if (!metrics_json.empty() || !metrics_prom.empty()) {
     cluster.PublishMetrics();
-    PREGELIX_RETURN_NOT_OK(registry.ExportJson(metrics_json));
-    printf("metrics in %s\n", metrics_json.c_str());
+    if (!metrics_json.empty()) {
+      PREGELIX_RETURN_NOT_OK(registry.ExportJson(metrics_json));
+      printf("metrics in %s\n", metrics_json.c_str());
+    }
+    if (!metrics_prom.empty()) {
+      PREGELIX_RETURN_NOT_OK(registry.ExportPrometheus(metrics_prom));
+      printf("prometheus metrics in %s\n", metrics_prom.c_str());
+    }
+  }
+
+  if (explain) {
+    PREGELIX_RETURN_NOT_OK(PrintExplain(flags, result));
   }
 
   printf("%s: %lld supersteps over %lld vertices / %lld edges\n",
@@ -295,6 +401,7 @@ Status ScaleUpCommand(const Flags& flags) {
 }
 
 int Main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags;
@@ -312,13 +419,24 @@ int Main(int argc, char** argv) {
       flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
     }
   }
+  if (flags.Has("log-level")) {
+    LogLevel level;
+    if (!ParseLogLevel(flags.Get("log-level"), &level)) {
+      fprintf(stderr, "bad --log-level=%s (want debug|info|warn|error)\n",
+              flags.Get("log-level").c_str());
+      return Usage();
+    }
+    SetLogLevel(level);
+  }
   if (!flags.Has("dfs")) {
     fprintf(stderr, "--dfs=<root-dir> is required\n");
     return Usage();
   }
   Status s;
   if (command == "run") {
-    s = RunCommand(flags);
+    s = RunCommand(flags, /*explain=*/false);
+  } else if (command == "explain") {
+    s = RunCommand(flags, /*explain=*/true);
   } else if (command == "generate") {
     s = GenerateCommand(flags);
   } else if (command == "stats") {

@@ -1,0 +1,251 @@
+// EXPLAIN ANALYZE plan profiles: collection on a real SSSP job, tuple
+// conservation across every connector, spill accounting under small and
+// large group-by budgets, deterministic JSON export, and the stall
+// watchdog.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "common/metrics_registry.h"
+#include "common/temp_dir.h"
+#include "dataflow/cluster.h"
+#include "dataflow/plan_profile.h"
+#include "dfs/dfs.h"
+#include "graph/generator.h"
+#include "pregel/runtime.h"
+#include "pregel/watchdog.h"
+
+namespace pregelix {
+namespace {
+
+/// One disposable environment per run, so back-to-back runs share nothing
+/// (the determinism test depends on that).
+struct TestEnv {
+  explicit TestEnv(size_t groupby_budget = 0) : dir("explain-test"),
+                                            dfs(dir.Sub("dfs")) {
+    config.num_workers = 2;
+    config.partitions_per_worker = 2;
+    config.worker_ram_bytes = 8u << 20;
+    config.frame_size = 8 * 1024;
+    if (groupby_budget != 0) config.groupby_memory_bytes = groupby_budget;
+    config.temp_root = dir.Sub("cluster");
+    cluster = std::make_unique<SimulatedCluster>(config);
+    runtime = std::make_unique<PregelixRuntime>(cluster.get(), &dfs);
+    GraphStats stats;
+    EXPECT_TRUE(
+        GenerateWebmapLike(dfs, "input/g", 3, 800, 6.0, 42, &stats).ok());
+  }
+
+  JobResult Sssp(JoinStrategy join = JoinStrategy::kFullOuter) {
+    SsspProgram program(1);
+    SsspProgram::Adapter adapter(&program);
+    PregelixJobConfig job;
+    job.name = "explain-sssp";
+    job.input_dir = "input/g";
+    job.join = join;
+    job.profile_plan = true;
+    JobResult result;
+    Status s = runtime->Run(&adapter, job, &result);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return result;
+  }
+
+  TempDir dir;
+  DistributedFileSystem dfs;
+  ClusterConfig config;
+  std::unique_ptr<SimulatedCluster> cluster;
+  std::unique_ptr<PregelixRuntime> runtime;
+};
+
+TEST(ExplainTest, ProfileCollectedWithPaperLabels) {
+  TestEnv run;
+  const JobResult result = run.Sssp();
+  ASSERT_GT(result.supersteps, 1);
+
+  ASSERT_NE(result.plan_profile, nullptr);
+  const PlanProfile& profile = *result.plan_profile;
+  EXPECT_EQ(profile.supersteps_merged(),
+            static_cast<int>(result.supersteps));
+  ASSERT_FALSE(profile.ops().empty());
+  ASSERT_FALSE(profile.edges().empty());
+
+  bool saw_compute = false;
+  bool saw_combine = false;
+  bool saw_global = false;
+  bool saw_resolve = false;
+  for (const PlanOperatorProfile& op : profile.ops()) {
+    if (op.name == "compute-full-outer-join") {
+      saw_compute = true;
+      // Paper vocabulary attached (Figures 3-5, 8).
+      EXPECT_NE(op.label.find("full-outer scan-merge"), std::string::npos);
+      EXPECT_GT(op.total.activations, 0u);
+      EXPECT_GT(op.total.tuples_out, 0u);
+      EXPECT_GT(op.total.wall_ns, 0u);
+      EXPECT_GE(op.skew, 1.0);
+    }
+    if (op.name == "combine-msgs") {
+      saw_combine = true;
+      EXPECT_NE(op.label.find("D3"), std::string::npos);
+      EXPECT_GT(op.total.tuples_in, 0u);
+      EXPECT_GT(op.total.mem_hwm_bytes, 0u);
+    }
+    if (op.name == "global-agg") saw_global = true;
+    if (op.name == "resolve") saw_resolve = true;
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_combine);
+  EXPECT_TRUE(saw_global);
+  EXPECT_TRUE(saw_resolve);
+
+  // A non-empty critical path through the timed plan.
+  EXPECT_GT(profile.wall_ns(), 0u);
+  EXPECT_FALSE(profile.critical_path().empty());
+  EXPECT_GT(profile.critical_path_wall_ns(), 0u);
+
+  // Every superstep carried its own profile, and the render has content.
+  for (const SuperstepStats& s : result.superstep_stats) {
+    ASSERT_NE(s.profile, nullptr);
+    EXPECT_GT(s.bytes_shuffled, 0u);
+  }
+  std::ostringstream tree;
+  profile.RenderTree(tree);
+  EXPECT_NE(tree.str().find("compute-full-outer-join"), std::string::npos);
+  EXPECT_NE(tree.str().find("critical path"), std::string::npos);
+}
+
+TEST(ExplainTest, TupleConservationAcrossEveryConnector) {
+  TestEnv run;
+  const JobResult result = run.Sssp(JoinStrategy::kAdaptive);
+  ASSERT_NE(result.plan_profile, nullptr);
+
+  // Cumulative and per-superstep: what a connector's producers appended is
+  // exactly what its consumers saw (the executor drains channels even when
+  // a consumer finishes early, so nothing leaks).
+  for (const PlanEdgeProfile& e : result.plan_profile->edges()) {
+    EXPECT_EQ(e.tuples_sent, e.tuples_recv)
+        << e.src_name << " -> " << e.dst_name << " ["
+        << ConnectorKindName(e.kind) << "]";
+  }
+  for (const SuperstepStats& s : result.superstep_stats) {
+    ASSERT_NE(s.profile, nullptr);
+    for (const PlanEdgeProfile& e : s.profile->edges()) {
+      EXPECT_EQ(e.tuples_sent, e.tuples_recv)
+          << "superstep " << s.superstep << ": " << e.src_name << " -> "
+          << e.dst_name;
+    }
+  }
+}
+
+TEST(ExplainTest, NoSpillsWithAmpleBudget) {
+  TestEnv run;  // default budget: 8 MB / 16 = 512 KB per group-by
+  const JobResult result = run.Sssp();
+  ASSERT_NE(result.plan_profile, nullptr);
+  EXPECT_EQ(result.plan_profile->TotalSpillCount(), 0u);
+  EXPECT_EQ(result.plan_profile->TotalSpillBytes(), 0u);
+}
+
+TEST(ExplainTest, SpillsSurfaceUnderTinyBudget) {
+  TestEnv run(/*groupby_budget=*/8 * 1024);
+  const JobResult result = run.Sssp();
+  ASSERT_NE(result.plan_profile, nullptr);
+  EXPECT_GT(result.plan_profile->TotalSpillCount(), 0u);
+  EXPECT_GT(result.plan_profile->TotalSpillBytes(), 0u);
+  // The spills land on the group-by/sort operators and carry a memory
+  // high-water mark from the spill boundary.
+  bool attributed = false;
+  for (const PlanOperatorProfile& op : result.plan_profile->ops()) {
+    if (op.total.spill_count > 0) {
+      attributed = true;
+      EXPECT_GT(op.total.spill_bytes, 0u) << op.name;
+      EXPECT_GT(op.total.mem_hwm_bytes, 0u) << op.name;
+    }
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(ExplainTest, ProfileJsonIsByteIdenticalAcrossRuns) {
+  std::string first;
+  std::string second;
+  {
+    TestEnv run;
+    const JobResult result = run.Sssp();
+    ASSERT_NE(result.plan_profile, nullptr);
+    std::ostringstream os;
+    result.plan_profile->WriteJson(os, /*include_timing=*/false);
+    first = os.str();
+  }
+  {
+    TestEnv run;
+    const JobResult result = run.Sssp();
+    ASSERT_NE(result.plan_profile, nullptr);
+    std::ostringstream os;
+    result.plan_profile->WriteJson(os, /*include_timing=*/false);
+    second = os.str();
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The timing-free export must not leak any wall-clock field.
+  EXPECT_EQ(first.find("wall_ns"), std::string::npos);
+  EXPECT_EQ(first.find("skew"), std::string::npos);
+  EXPECT_EQ(first.find("critical_path"), std::string::npos);
+}
+
+TEST(ExplainTest, ProfilingOffLeavesNoProfileBehind) {
+  TestEnv run;
+  SsspProgram program(1);
+  SsspProgram::Adapter adapter(&program);
+  PregelixJobConfig job;
+  job.name = "no-profile";
+  job.input_dir = "input/g";
+  job.profile_plan = false;
+  JobResult result;
+  ASSERT_TRUE(run.runtime->Run(&adapter, job, &result).ok());
+  EXPECT_EQ(result.plan_profile, nullptr);
+  for (const SuperstepStats& s : result.superstep_stats) {
+    EXPECT_EQ(s.profile, nullptr);
+    EXPECT_EQ(s.spill_count, 0u);
+  }
+}
+
+TEST(ExplainTest, StallWatchdogFlagsARunawaySuperstep) {
+  MetricsRegistry registry;
+  StallWatchdog watchdog(/*factor=*/2.0, &registry, "wd-test");
+  // Three fast samples build the trailing mean (~2 ms each).
+  for (int64_t s = 1; s <= 3; ++s) {
+    watchdog.Arm(s);
+    watchdog.Disarm(2'000'000);
+  }
+  EXPECT_EQ(watchdog.stall_count(), 0);
+  // Superstep 4 blows through 2x the 2 ms mean while still "running".
+  watchdog.Arm(4);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (watchdog.stall_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  watchdog.Disarm(60'000'000);
+  EXPECT_EQ(watchdog.stall_count(), 1);
+  EXPECT_EQ(registry.CounterValue("pregelix.pregel.stalls",
+                                  MetricLabels{{"job", "wd-test"}}),
+            1u);
+  EXPECT_EQ(registry.GaugeValue("pregelix.pregel.superstep_stalled",
+                                MetricLabels{{"job", "wd-test"}}),
+            4);
+
+  // Disabled watchdog: no thread, Arm/Disarm are no-ops.
+  StallWatchdog off(/*factor=*/0.0, &registry, "wd-off");
+  off.Arm(1);
+  off.Disarm(1);
+  EXPECT_EQ(off.stall_count(), 0);
+}
+
+}  // namespace
+}  // namespace pregelix

@@ -7,6 +7,7 @@
 #      annotations in src/common/thread_annotations.h
 #   2. clang-tidy over src/ with the checked-in .clang-tidy
 #   3. tools/lint_fault_points.py (fault-point naming + DESIGN.md table)
+#      and tools/lint_metrics.py (metric naming + DESIGN.md table)
 #   4. bench smoke: one short iteration of the kernel microbenchmarks via
 #      tools/bench_smoke.sh (needs a built build/ tree; skipped otherwise)
 #   5. --tsan: additionally build with PREGELIX_SANITIZE=thread and run the
@@ -99,6 +100,14 @@ if python3 "$REPO/tools/lint_fault_points.py"; then
   :
 else
   fail "lint_fault_points.py"
+fi
+
+# --- 3b. Metric-name lint ---------------------------------------------------
+note "metric-name lint (naming convention + DESIGN.md table)"
+if python3 "$REPO/tools/lint_metrics.py"; then
+  :
+else
+  fail "lint_metrics.py"
 fi
 
 # --- 4. Bench smoke ---------------------------------------------------------
