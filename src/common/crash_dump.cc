@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/event_journal.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
@@ -21,6 +22,12 @@ struct Targets {
   const MetricsRegistry* registry = nullptr;
   std::string metrics_json_path;
   std::string metrics_prom_path;
+  EventJournal* journal = nullptr;
+  std::string events_path;
+  /// True when the journal is already live-spilling to events_path: the
+  /// dump then only flushes the spill stream instead of truncating the
+  /// full on-disk journal down to the in-memory tail.
+  bool events_spill_active = false;
 };
 
 Targets& targets() {
@@ -58,18 +65,35 @@ void DumpNow() {
       }
     }
   }
+  if (t.journal != nullptr) {
+    if (t.events_spill_active) {
+      t.journal->FlushSpill();
+    } else if (!t.events_path.empty()) {
+      const Status s =
+          t.journal->DumpTail(t.events_path, kJournalTailEvents);
+      if (!s.ok()) {
+        PLOG(Warn) << "crash-dump journal export failed: " << s.ToString();
+      }
+    }
+  }
 }
+
+void MarkClean() { g_dumped.store(true); }
 
 void Configure(const Tracer* tracer, const std::string& trace_path,
                const MetricsRegistry* registry,
                const std::string& metrics_json_path,
-               const std::string& metrics_prom_path) {
+               const std::string& metrics_prom_path, EventJournal* journal,
+               const std::string& events_path, bool events_spill_active) {
   Targets& t = targets();
   t.tracer = tracer;
   t.trace_path = trace_path;
   t.registry = registry;
   t.metrics_json_path = metrics_json_path;
   t.metrics_prom_path = metrics_prom_path;
+  t.journal = journal;
+  t.events_path = events_path;
+  t.events_spill_active = events_spill_active;
   g_dumped = false;  // re-arming after an explicit DumpNow is intentional
   if (!g_hooks_installed.exchange(true)) {
     std::atexit(AtExitDump);

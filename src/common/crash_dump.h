@@ -7,6 +7,7 @@ namespace pregelix {
 
 class Tracer;
 class MetricsRegistry;
+class EventJournal;
 
 /// Best-effort observability flush on the way out of a dying process.
 ///
@@ -22,18 +23,34 @@ class MetricsRegistry;
 /// bench harness pass the cluster-owned instances, which live until exit).
 namespace crash_dump {
 
-/// Installs (or re-points) the dump targets. Null tracer/registry or an
-/// empty path skips that half. The atexit + fatal hooks are registered on
-/// the first call only.
+/// Events from the journal tail flushed on abnormal exit (JSONL).
+inline constexpr size_t kJournalTailEvents = 256;
+
+/// Installs (or re-points) the dump targets. Null tracer/registry/journal
+/// or an empty path skips that half. The atexit + fatal hooks are
+/// registered on the first call only. When a journal + events_path are set,
+/// DumpNow flushes the journal's live spill stream if one is writing to
+/// `events_path` already, and otherwise writes the newest
+/// kJournalTailEvents events to `events_path` as JSONL.
 void Configure(const Tracer* tracer, const std::string& trace_path,
                const MetricsRegistry* registry,
                const std::string& metrics_json_path,
-               const std::string& metrics_prom_path = std::string());
+               const std::string& metrics_prom_path = std::string(),
+               EventJournal* journal = nullptr,
+               const std::string& events_path = std::string(),
+               bool events_spill_active = false);
 
 /// Flushes immediately (first caller wins; later calls are no-ops).
 /// Explicitly calling this after a successful export makes the exit hooks
 /// silent.
 void DumpNow();
+
+/// Marks the dump as already taken WITHOUT writing anything, so the exit
+/// hooks become no-ops. Callers that export explicitly on success (the CLI
+/// writes trace/metrics files itself) use this to keep the atexit hook from
+/// re-exporting over the finished files during exit() — by which point
+/// thread-local state the exporters touch may already be destructed.
+void MarkClean();
 
 }  // namespace crash_dump
 }  // namespace pregelix

@@ -1,0 +1,103 @@
+#ifndef PREGELIX_COMMON_EVENT_JOURNAL_H_
+#define PREGELIX_COMMON_EVENT_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+// Structured event journal (see DESIGN.md "Live observability server").
+//
+// A fixed-capacity ring of structured events with a process-monotonic
+// sequence number. Producers (the superstep driver, the stall watchdog, the
+// fault injector) append; consumers replay with SnapshotSince /
+// WriteJsonl(since) — the `GET /events?since=<seq>` endpoint — or dump the
+// tail on the way out of a dying process (crash_dump.h). When the ring
+// wraps, the oldest events are overwritten; `dropped()` counts how many a
+// full replay from seq 0 can no longer see. Optionally every event is also
+// spilled as one JSONL line to a file (`pregelix run --events-out=`), so a
+// journal longer than the ring survives on disk.
+
+namespace pregelix {
+
+/// One journal event. `seq` is assigned by Append, starts at 1, and never
+/// repeats within a process. `superstep` is -1 when not applicable.
+struct JournalEvent {
+  uint64_t seq = 0;
+  int64_t wall_us = 0;     ///< microseconds since the unix epoch
+  uint64_t steady_ns = 0;  ///< monotonic clock, for intra-process ordering
+  std::string category;    ///< e.g. "superstep.begin" (see DESIGN.md table)
+  std::string job_id;      ///< empty for process-scoped events
+  int64_t superstep = -1;
+  std::vector<std::pair<std::string, std::string>> kv;
+};
+
+/// Writes one event as a single JSON object (no trailing newline).
+void WriteEventJson(std::ostream& os, const JournalEvent& e);
+
+/// Thread-safe fixed-capacity event ring. Append is O(1) plus, when a spill
+/// path is set, one buffered+flushed file line.
+class EventJournal {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit EventJournal(size_t capacity = kDefaultCapacity);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Appends an event (seq/timestamps are filled in here) and returns its
+  /// assigned seq.
+  uint64_t Append(const std::string& category, const std::string& job_id,
+                  int64_t superstep,
+                  std::vector<std::pair<std::string, std::string>> kv = {});
+
+  /// Events with seq > since_seq still present in the ring, in seq order.
+  /// `limit` > 0 caps the result to the *newest* `limit` of them.
+  std::vector<JournalEvent> SnapshotSince(uint64_t since_seq,
+                                          size_t limit = 0) const;
+
+  /// JSONL replay: one event per line, seq order, same filter as
+  /// SnapshotSince. The `GET /events?since=` body.
+  void WriteJsonl(std::ostream& os, uint64_t since_seq,
+                  size_t limit = 0) const;
+
+  /// Truncates `path` and writes the newest `max_events` events as JSONL.
+  /// The crash-dump hook uses this to leave the journal tail behind on
+  /// abnormal exit.
+  Status DumpTail(const std::string& path, size_t max_events) const;
+
+  /// Enables (non-empty) or disables (empty) the per-event JSONL spill.
+  /// The file is truncated on open; every Append then writes and flushes
+  /// one line.
+  Status SetSpillPath(const std::string& path);
+  /// Flushes the spill stream if one is open (crash-dump hook).
+  void FlushSpill();
+
+  uint64_t last_seq() const;
+  /// Events overwritten by ring wraparound (not replayable from memory).
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Process-wide default instance (what the runtime/watchdog/fault
+  /// injector feed and `pregelix serve` serves).
+  static EventJournal& Global();
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mutex_{"event_journal", LockRank::kEventJournal};
+  std::vector<JournalEvent> ring_ GUARDED_BY(mutex_);  ///< slot = seq % cap
+  uint64_t next_seq_ GUARDED_BY(mutex_) = 1;
+  std::ofstream spill_ GUARDED_BY(mutex_);
+  bool spill_open_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_COMMON_EVENT_JOURNAL_H_

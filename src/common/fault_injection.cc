@@ -1,10 +1,37 @@
 #include "common/fault_injection.h"
 
+#include "common/event_journal.h"
 #include "common/hash.h"
 #include "common/metrics_registry.h"
 
 namespace pregelix {
 namespace fault {
+
+namespace {
+
+const char* ActionName(Action action) {
+  switch (action) {
+    case Action::kError:
+      return "error";
+    case Action::kTornWrite:
+      return "torn-write";
+    case Action::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+/// Records a fire in the event journal. Called after RecordHit returned —
+/// no injector lock is held here, so the journal's higher-ranked lock is
+/// taken on its own.
+void JournalFire(const std::string& point, const FaultSpec& spec,
+                 int64_t scope) {
+  EventJournal::Global().Append("fault.fire", /*job_id=*/"", scope,
+                                {{"point", point},
+                                 {"action", ActionName(spec.action)}});
+}
+
+}  // namespace
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = new FaultInjector();
@@ -97,6 +124,7 @@ bool FaultInjector::RecordHit(const std::string& point, FaultSpec* spec_out) {
 Status FaultInjector::MaybeFail(const std::string& point) {
   FaultSpec spec;
   if (!RecordHit(point, &spec)) return Status::OK();
+  JournalFire(point, spec, scope());
   if (spec.action == Action::kCrash) {
     return Status::Aborted("simulated crash at " + point);
   }
@@ -106,6 +134,7 @@ Status FaultInjector::MaybeFail(const std::string& point) {
 Status FaultInjector::MaybeFailWrite(const std::string& point, size_t* len) {
   FaultSpec spec;
   if (!RecordHit(point, &spec)) return Status::OK();
+  JournalFire(point, spec, scope());
   if (spec.action == Action::kTornWrite) {
     *len = *len / 2;  // write a prefix, then fail: a torn write
   } else {

@@ -31,8 +31,19 @@ void DefaultHandler(const Violation& v) {
 
 std::atomic<Handler> g_handler{&DefaultHandler};
 
-/// Per-thread stack of held locks, outermost first.
-thread_local std::vector<const Mutex*> tls_held;
+/// Per-thread stack of held locks, outermost first. Wrapped with an
+/// `alive` flag because locks are still taken after this thread's TLS
+/// destructors have run — the crash-dump atexit hook exports traces and
+/// metrics during exit(), and glibc destroys main-thread TLS before the
+/// atexit handlers fire. Once the destructor has flipped `alive`, lock
+/// tracking degrades to plain (unchecked) locking instead of pushing into
+/// a destructed vector.
+struct TlsHeld {
+  std::vector<const Mutex*> stack;
+  bool alive = true;
+  ~TlsHeld() { alive = false; }
+};
+thread_local TlsHeld tls_held;
 
 /// Name-level acquisition graph. Nodes are lock names (all instances of one
 /// structure share a node); an edge a->b means "some thread held a while
@@ -102,13 +113,15 @@ void Report(Violation::Kind kind, const std::string& report) {
 /// Rank + cycle checks for one acquisition; called before blocking on the
 /// underlying std::mutex so a would-be deadlock reports instead of hanging.
 void CheckAcquire(const Mutex* m) {
-  if (tls_held.empty()) return;
+  if (!tls_held.alive) return;  // exit-time acquisition, TLS already gone
+  const std::vector<const Mutex*>& held_stack = tls_held.stack;
+  if (held_stack.empty()) return;
 
-  for (const Mutex* h : tls_held) {
+  for (const Mutex* h : held_stack) {
     if (h == m) {
       std::ostringstream os;
       os << "lock-order violation (recursive acquisition): thread already "
-         << "holds \"" << m->name() << "\"; held " << DescribeHeld(tls_held);
+         << "holds \"" << m->name() << "\"; held " << DescribeHeld(held_stack);
       Report(Violation::Kind::kRecursive, os.str());
       return;  // acquiring would self-deadlock; handler decided to continue
     }
@@ -117,7 +130,7 @@ void CheckAcquire(const Mutex* m) {
   // Rank discipline: every ranked lock acquired must outrank every ranked
   // lock held.
   if (m->rank() != LockRank::kUnranked) {
-    for (const Mutex* h : tls_held) {
+    for (const Mutex* h : held_stack) {
       if (h->rank() == LockRank::kUnranked) continue;
       if (static_cast<int>(h->rank()) >= static_cast<int>(m->rank())) {
         std::ostringstream os;
@@ -126,7 +139,7 @@ void CheckAcquire(const Mutex* m) {
            << ") while holding \"" << h->name() << "\" (rank "
            << static_cast<int>(h->rank())
            << "); a ranked lock must outrank every ranked lock held. held "
-           << DescribeHeld(tls_held);
+           << DescribeHeld(held_stack);
         Report(Violation::Kind::kRankInversion, os.str());
         break;
       }
@@ -136,7 +149,7 @@ void CheckAcquire(const Mutex* m) {
   // Cycle detection over the name-level acquisition graph.
   Graph& g = graph();
   std::lock_guard<std::mutex> lock(g.mu);
-  for (const Mutex* h : tls_held) {
+  for (const Mutex* h : held_stack) {
     if (std::string(h->name()) == m->name()) continue;
     auto& out = g.edges[h->name()];
     if (out.find(m->name()) != out.end()) continue;  // known edge
@@ -150,7 +163,7 @@ void CheckAcquire(const Mutex* m) {
          << "\" completes the cycle ";
       for (const std::string& n : path) os << n << " -> ";
       os << m->name() << ".\n  this thread holds "
-         << DescribeHeld(tls_held) << "\n";
+         << DescribeHeld(held_stack) << "\n";
       for (size_t i = 0; i + 1 < path.size(); ++i) {
         const Graph::Edge& e = g.edges[path[i]][path[i + 1]];
         os << "  edge " << path[i] << " -> " << path[i + 1]
@@ -160,8 +173,8 @@ void CheckAcquire(const Mutex* m) {
       Report(Violation::Kind::kCycle, os.str());
     }
     Graph::Edge edge;
-    edge.holder_stack.reserve(tls_held.size());
-    for (const Mutex* held : tls_held) {
+    edge.holder_stack.reserve(held_stack.size());
+    for (const Mutex* held : held_stack) {
       edge.holder_stack.push_back(held->name());
     }
     out.emplace(m->name(), std::move(edge));
@@ -188,8 +201,9 @@ void ResetGraphForTest() {
 
 std::vector<std::string> HeldLocksForTest() {
   std::vector<std::string> names;
-  names.reserve(tls_held.size());
-  for (const Mutex* m : tls_held) names.emplace_back(m->name());
+  if (!tls_held.alive) return names;
+  names.reserve(tls_held.stack.size());
+  for (const Mutex* m : tls_held.stack) names.emplace_back(m->name());
   return names;
 }
 
@@ -198,15 +212,18 @@ std::vector<std::string> HeldLocksForTest() {
 void Mutex::lock() {
   if (lock_order::Enabled()) lock_order::CheckAcquire(this);
   mu_.lock();
-  lock_order::tls_held.push_back(this);
+  auto& held = lock_order::tls_held;
+  if (held.alive) held.stack.push_back(this);
 }
 
 void Mutex::unlock() {
   auto& held = lock_order::tls_held;
-  for (size_t i = held.size(); i > 0; --i) {
-    if (held[i - 1] == this) {
-      held.erase(held.begin() + static_cast<long>(i - 1));
-      break;
+  if (held.alive) {
+    for (size_t i = held.stack.size(); i > 0; --i) {
+      if (held.stack[i - 1] == this) {
+        held.stack.erase(held.stack.begin() + static_cast<long>(i - 1));
+        break;
+      }
     }
   }
   mu_.unlock();
@@ -215,7 +232,8 @@ void Mutex::unlock() {
 bool Mutex::try_lock() {
   // try_lock cannot deadlock, so it skips the checks but still tracks.
   if (!mu_.try_lock()) return false;
-  lock_order::tls_held.push_back(this);
+  auto& held = lock_order::tls_held;
+  if (held.alive) held.stack.push_back(this);
   return true;
 }
 

@@ -48,6 +48,9 @@ enum class LockRank : int {
   kTraceRegistry = 50,   // Tracer thread-buffer registry
   kTraceBuffer = 55,     // one Tracer thread buffer
   kFaultInjector = 60,   // FaultInjector point table
+  kJobRegistry = 62,     // JobStatusRegistry job table
+  kEventJournal = 64,    // EventJournal ring + spill stream
+  kServer = 66,          // ObservabilityServer connection queue
   kMetricsRegistry = 70, // MetricsRegistry instrument table
   kLogging = 90,         // log serialization; loggable under any lock
 };

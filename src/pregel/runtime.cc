@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
+#include "common/event_journal.h"
 #include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -17,6 +19,7 @@
 #include "pregel/plans.h"
 #include "pregel/vertex_format.h"
 #include "pregel/watchdog.h"
+#include "server/job_registry.h"
 #include "storage/btree.h"
 #include "storage/lsm_btree.h"
 
@@ -62,6 +65,26 @@ Status WriteGs(DistributedFileSystem* dfs, const JobRuntimeContext& ctx,
   });
 }
 
+/// Publishes a job's start/finish to the observability registries (the
+/// live status table and the event journal). Both sinks are process-global,
+/// bounded, and lock-free when idle-ish, so every job publishes
+/// unconditionally — `pregelix serve` / --admin-port then has live data
+/// without any per-job opt-in.
+void PublishJobStart(const JobRuntimeContext& ctx, const std::string& name) {
+  server::JobStatusRegistry::Global().OnJobStart(ctx.job_id, name);
+  EventJournal::Global().Append("job.start", ctx.job_id, -1,
+                                {{"name", name}});
+}
+
+void PublishJobFinish(const JobRuntimeContext& ctx, const Status& s) {
+  server::JobStatusRegistry::Global().OnJobFinish(ctx.job_id, s.ok(),
+                                                  s.ToString());
+  EventJournal::Global().Append(
+      "job.finish", ctx.job_id, -1,
+      {{"ok", s.ok() ? "true" : "false"},
+       {"status", s.ok() ? "OK" : s.ToString()}});
+}
+
 }  // namespace
 
 PregelixRuntime::PregelixRuntime(SimulatedCluster* cluster,
@@ -82,8 +105,10 @@ Status PregelixRuntime::Run(PregelProgram* program,
           ? config.name + "-" + std::to_string(g_job_counter.fetch_add(1))
           : config.job_id;
   ctx.partitions.resize(cluster_->num_partitions());
+  PublishJobStart(ctx, config.name);
   Status s = RunInternal(program, config, &ctx, /*do_load=*/true,
                          /*do_dump=*/!config.output_dir.empty(), result);
+  PublishJobFinish(ctx, s);
   // A failed job keeps its DFS state (GS + checkpoints): with a stable
   // job_id, a later Run with resume=true picks up from the newest valid
   // checkpoint instead of re-running lost supersteps from the input.
@@ -109,7 +134,7 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
   // Flags a superstep that runs far past the trailing-mean wall time while
   // it is still running (wedged exchange, pathological skew).
   StallWatchdog watchdog(config.stall_factor, cluster_->registry(),
-                         config.name);
+                         config.name, ctx->job_id);
 
   // Summed buffer-cache hit/miss counters across workers, for per-superstep
   // hit-ratio deltas in the progress log.
@@ -217,6 +242,12 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     ctx->vertices_removed = 0;
     ctx->edges_delta = 0;
 
+    server::JobStatusRegistry::Global().OnSuperstepStart(ctx->job_id,
+                                                         superstep);
+    EventJournal::Global().Append(
+        "superstep.begin", ctx->job_id, superstep,
+        {{"live", std::to_string(ctx->gs.live_vertices)}});
+
     TraceSpan step_span(cluster_->tracer(), "pregel.superstep",
                         trace_cat::kPregel, kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
@@ -273,6 +304,40 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     result->superstep_stats.push_back(stats);
     result->supersteps_sim_seconds += stats.sim_seconds;
 
+    // Publish the completed superstep to the live status registry + journal
+    // (what /jobs/<id> and /events serve). The cumulative profile is
+    // re-serialized with the same deterministic, timing-free writer as
+    // `pregelix explain`, so /jobs/<id> carries a stable profile document.
+    {
+      server::SuperstepBrief brief;
+      brief.superstep = superstep;
+      brief.wall_seconds = stats.wall_seconds;
+      brief.sim_seconds = stats.sim_seconds;
+      brief.live_vertices = stats.live_vertices;
+      brief.messages = stats.messages;
+      brief.bytes_shuffled = stats.bytes_shuffled;
+      brief.spill_count = stats.spill_count;
+      brief.left_outer_join = stats.used_left_outer_join;
+      std::string profile_json;
+      if (cumulative != nullptr) {
+        std::ostringstream pos;
+        cumulative->WriteJson(pos, /*include_timing=*/false);
+        profile_json = pos.str();
+      }
+      server::JobStatusRegistry::Global().OnSuperstep(
+          ctx->job_id, brief, std::move(profile_json));
+      EventJournal::Global().Append(
+          "superstep.end", ctx->job_id, superstep,
+          {{"live", std::to_string(stats.live_vertices)},
+           {"messages", std::to_string(stats.messages)},
+           {"wall_ms",
+            std::to_string(static_cast<int64_t>(stats.wall_seconds * 1e3))},
+           {"shuffled_bytes", std::to_string(stats.bytes_shuffled)},
+           {"spills", std::to_string(stats.spill_count)},
+           {"join",
+            stats.used_left_outer_join ? "left-outer" : "full-outer"}});
+    }
+
     // Close the superstep span carrying the SuperstepStats the runtime just
     // computed, so one trace row tells the whole per-iteration story.
     step_span.AddArg("superstep", superstep);
@@ -296,6 +361,10 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
       ckpt_span.AddArg("superstep", superstep);
       PREGELIX_RETURN_NOT_OK(WriteCheckpoint(ctx, superstep));
       last_checkpoint = superstep;
+      server::JobStatusRegistry::Global().OnCheckpoint(ctx->job_id,
+                                                       superstep);
+      EventJournal::Global().Append("checkpoint.commit", ctx->job_id,
+                                    superstep);
     }
     (void)last_checkpoint;
 
@@ -531,11 +600,17 @@ Status PregelixRuntime::Recover(JobRuntimeContext* ctx,
     PREGELIX_RETURN_NOT_OK(WriteGs(dfs_, *ctx, gs));
     *resume_superstep = s + 1;
     *restart_from_load = false;
+    server::JobStatusRegistry::Global().OnRecovery(ctx->job_id, s);
+    EventJournal::Global().Append("recovery.complete", ctx->job_id, s,
+                                  {{"resume", std::to_string(s + 1)}});
     return Status::OK();
   }
   PLOG(Info) << "no valid checkpoint found; restarting from load";
   *restart_from_load = true;
   *resume_superstep = 1;
+  server::JobStatusRegistry::Global().OnRecovery(ctx->job_id, -1);
+  EventJournal::Global().Append("recovery.restart", ctx->job_id, -1,
+                                {{"reason", "no valid checkpoint"}});
   return Status::OK();
 }
 
@@ -567,6 +642,7 @@ Status PregelixRuntime::RunPipeline(
   ctx.job_id = jobs[0].second.name + "-pipeline-" +
                std::to_string(g_job_counter.fetch_add(1));
   ctx.partitions.resize(cluster_->num_partitions());
+  PublishJobStart(ctx, jobs[0].second.name + "-pipeline");
 
   Status status;
   for (size_t j = 0; j < jobs.size(); ++j) {
@@ -587,6 +663,7 @@ Status PregelixRuntime::RunPipeline(
                          &(*results)[j]);
     if (!status.ok()) break;
   }
+  PublishJobFinish(ctx, status);
   Cleanup(&ctx);
   return status;
 }

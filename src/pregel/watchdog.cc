@@ -2,7 +2,9 @@
 
 #include <numeric>
 
+#include "common/event_journal.h"
 #include "common/logging.h"
+#include "server/job_registry.h"
 
 namespace pregelix {
 
@@ -13,8 +15,9 @@ constexpr size_t kWindow = 8;
 }  // namespace
 
 StallWatchdog::StallWatchdog(double factor, MetricsRegistry* registry,
-                             const std::string& job_name)
-    : factor_(factor), job_name_(job_name) {
+                             const std::string& job_name,
+                             const std::string& job_id)
+    : factor_(factor), job_name_(job_name), job_id_(job_id) {
   if (factor_ <= 0) return;  // disabled: no thread, Arm/Disarm are no-ops
   if (registry != nullptr) {
     const MetricLabels labels{{"job", job_name_}};
@@ -63,6 +66,13 @@ void StallWatchdog::Arm(int64_t superstep) {
 void StallWatchdog::Disarm(uint64_t wall_ns) {
   if (factor_ <= 0) return;
   MutexLock lock(&mutex_);
+  if (flagged_ && !job_id_.empty()) {
+    // The flagged superstep finished after all: record the resolution so a
+    // /events reader can pair every stall with its outcome.
+    EventJournal::Global().Append(
+        "watchdog.clear", job_id_, superstep_,
+        {{"wall_ms", std::to_string(wall_ns / 1000000)}});
+  }
   armed_ = false;
   samples_.push_back(wall_ns);
   if (samples_.size() > kWindow) {
@@ -94,6 +104,15 @@ void StallWatchdog::Loop() {
     ++stall_count_;
     if (stalls_ != nullptr) stalls_->Increment();
     if (stalled_gauge_ != nullptr) stalled_gauge_->Set(superstep_);
+    if (!job_id_.empty()) {
+      // Journal (rank 64) and job registry (rank 62) both rank above this
+      // lock (kWatchdog = 48), so publishing from inside the loop is safe.
+      EventJournal::Global().Append(
+          "watchdog.stall", job_id_, superstep_,
+          {{"trailing_mean_ms", std::to_string(TrailingMeanNs() / 1000000)},
+           {"factor", std::to_string(factor_)}});
+      server::JobStatusRegistry::Global().OnStall(job_id_, superstep_);
+    }
     PLOG(Warn) << "stall watchdog [" << job_name_ << "]: superstep "
                << superstep_ << " exceeded " << factor_
                << "x the trailing-mean wall time ("

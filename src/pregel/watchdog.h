@@ -27,9 +27,12 @@ namespace pregelix {
 /// driver loop; Arm/Disarm bracket each superstep.
 class StallWatchdog {
  public:
-  /// `registry` may be null (no metrics surfaced, log only).
+  /// `registry` may be null (no metrics surfaced, log only). A non-empty
+  /// `job_id` additionally publishes stalls to the process-wide
+  /// JobStatusRegistry and EventJournal ("watchdog.stall" /
+  /// "watchdog.clear") for the observability server.
   StallWatchdog(double factor, MetricsRegistry* registry,
-                const std::string& job_name);
+                const std::string& job_name, const std::string& job_id = "");
   ~StallWatchdog();
 
   StallWatchdog(const StallWatchdog&) = delete;
@@ -50,6 +53,7 @@ class StallWatchdog {
 
   const double factor_;
   const std::string job_name_;
+  const std::string job_id_;
   Counter* stalls_ = nullptr;
   Gauge* stalled_gauge_ = nullptr;
 

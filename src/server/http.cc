@@ -1,0 +1,142 @@
+#include "server/http.h"
+
+namespace pregelix {
+namespace server {
+
+namespace {
+
+/// Slack for "METHOD " + " HTTP/1.1" around the request-target when judging
+/// an unterminated first line against max_uri_bytes.
+constexpr size_t kRequestLineSlack = 32;
+
+}  // namespace
+
+ParseOutcome ParseHttpRequest(std::string_view data, const ParseLimits& limits,
+                              HttpRequest* out) {
+  const size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // Incomplete head: reject early once a limit is provably exceeded, so
+    // a client streaming an endless URI or header block is cut off at the
+    // limit instead of buffered forever.
+    const size_t line_end = data.find("\r\n");
+    if (line_end == std::string_view::npos &&
+        data.size() > limits.max_uri_bytes + kRequestLineSlack) {
+      return ParseOutcome::kUriTooLong;
+    }
+    if (data.size() > limits.max_header_bytes) {
+      return ParseOutcome::kHeaderTooLarge;
+    }
+    return ParseOutcome::kNeedMore;
+  }
+  if (head_end + 4 > limits.max_header_bytes) {
+    return ParseOutcome::kHeaderTooLarge;
+  }
+
+  // Request line: METHOD SP request-target SP HTTP-version.
+  const size_t line_end = data.find("\r\n");
+  const std::string_view line = data.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return ParseOutcome::kBadRequest;
+  }
+  const size_t sp2 = line.rfind(' ');
+  if (sp2 == sp1 || sp2 + 1 >= line.size()) {
+    return ParseOutcome::kBadRequest;
+  }
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return ParseOutcome::kBadRequest;
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target.find(' ') != std::string_view::npos) {
+    return ParseOutcome::kBadRequest;
+  }
+  if (target.size() > limits.max_uri_bytes) return ParseOutcome::kUriTooLong;
+
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(target);
+  const size_t q = req.target.find('?');
+  if (q == std::string::npos) {
+    req.path = req.target;
+  } else {
+    req.path = req.target.substr(0, q);
+    req.query = req.target.substr(q + 1);
+  }
+
+  // Header fields: "Name: value" per line until the blank line.
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t eol = data.find("\r\n", pos);
+    if (eol == std::string_view::npos || eol > head_end) eol = head_end;
+    const std::string_view header = data.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseOutcome::kBadRequest;
+    }
+    std::string_view value = header.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    req.headers.emplace_back(std::string(header.substr(0, colon)),
+                             std::string(value));
+  }
+
+  *out = std::move(req);
+  return ParseOutcome::kOk;
+}
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 414:
+      return "URI Too Long";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& resp) {
+  std::string out;
+  out.reserve(resp.body.size() + 256);
+  out += "HTTP/1.1 " + std::to_string(resp.code) + " " +
+         ReasonPhrase(resp.code) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  for (const auto& [name, value] : resp.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (pair == key) return "";
+      continue;
+    }
+    if (pair.substr(0, eq) == key) return pair.substr(eq + 1);
+  }
+  return std::string();
+}
+
+}  // namespace server
+}  // namespace pregelix

@@ -1,0 +1,70 @@
+#ifndef PREGELIX_SERVER_HTTP_H_
+#define PREGELIX_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// Minimal HTTP/1.1 request/response types for the observability server
+// (DESIGN.md "Live observability server"). Parsing is a pure function over
+// the bytes received so far — no sockets — so partial reads and the limit
+// edge cases (oversized URI/headers) are unit-testable without a network.
+
+namespace pregelix {
+namespace server {
+
+struct HttpRequest {
+  std::string method;  ///< as received, e.g. "GET"
+  std::string target;  ///< the raw request-target, path + optional ?query
+  std::string path;    ///< target up to '?'
+  std::string query;   ///< target after '?' (no '?'), may be empty
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Hard limits the parser enforces *while* bytes arrive, so a hostile or
+/// confused client cannot make the server buffer without bound.
+struct ParseLimits {
+  size_t max_uri_bytes = 2048;     ///< request-target length -> 414
+  size_t max_header_bytes = 8192;  ///< whole head (line + headers) -> 431
+};
+
+enum class ParseOutcome {
+  kOk,             ///< complete request parsed into *out
+  kNeedMore,       ///< no full head yet; call again with more bytes
+  kBadRequest,     ///< malformed request line or header -> 400
+  kUriTooLong,     ///< request-target exceeds max_uri_bytes -> 414
+  kHeaderTooLarge  ///< head exceeds max_header_bytes -> 431
+};
+
+/// Parses the request head out of `data` (everything received so far).
+/// Returns kNeedMore until the blank line arrives, unless a limit is
+/// already provably exceeded by the partial bytes. Bodies are not consumed
+/// (every endpoint is GET; a body, if any, is ignored).
+ParseOutcome ParseHttpRequest(std::string_view data, const ParseLimits& limits,
+                              HttpRequest* out);
+
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra headers, e.g. {"Allow", "GET"} on a 405.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Standard reason phrase for the status codes the server emits.
+const char* ReasonPhrase(int code);
+
+/// Renders the full HTTP/1.1 wire form (Content-Length + Connection: close).
+std::string SerializeResponse(const HttpResponse& resp);
+
+/// Value of `key` in an application/x-www-form-urlencoded query string
+/// ("a=1&b=2"); empty when absent. No percent-decoding (the server's query
+/// values are plain integers).
+std::string QueryParam(const std::string& query, const std::string& key);
+
+}  // namespace server
+}  // namespace pregelix
+
+#endif  // PREGELIX_SERVER_HTTP_H_

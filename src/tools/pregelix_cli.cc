@@ -12,6 +12,7 @@
 //
 // Run with no arguments for full usage.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,13 +20,16 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "algorithms/algorithms.h"
 #include "common/crash_dump.h"
+#include "common/event_journal.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/temp_dir.h"
 #include "common/trace.h"
+#include "server/server.h"
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
 #include "graph/generator.h"
@@ -90,6 +94,11 @@ commands:
       --metrics-json=FILE       write the metrics registry as JSON
       --metrics-prom=FILE       write the metrics registry in Prometheus
                                 text exposition format
+      --admin-port=N            serve live /metrics, /jobs, /events over HTTP
+                                on 127.0.0.1:N while the job runs (0 picks an
+                                ephemeral port; printed on startup)
+      --events-out=FILE         spill every structured journal event as one
+                                JSONL line (also flushed on abnormal exit)
   explain    run an algorithm with EXPLAIN ANALYZE: all `run` flags, plus an
              annotated plan tree (per-operator tuple/frame/byte counts, wall
              time, memory high-water marks, spills, worker skew, critical
@@ -97,6 +106,10 @@ commands:
       --top=K                   show the K hottest operators (default 3)
       --profile-json=FILE       export the cumulative plan profile as JSON
                                 (timing-free: byte-identical across runs)
+  serve      standalone observability server (no --dfs needed): serves the
+             process-global metrics registry, job table, and event journal
+      --admin-port=N            listen port (default 9090; 0 = ephemeral)
+      --serve-seconds=S         exit after S seconds (default 0 = forever)
 
 global flags:
       --log-level=debug|info|warn|error   minimum log level (overrides the
@@ -180,6 +193,7 @@ Status RunCommand(const Flags& flags, bool explain) {
   const std::string trace_out = flags.Get("trace-out");
   const std::string metrics_json = flags.Get("metrics-json");
   const std::string metrics_prom = flags.Get("metrics-prom");
+  const std::string events_out = flags.Get("events-out");
   // Deliberately leaked: the crash-dump exit hooks may fire after this
   // function (and main) return, and they read these objects.
   Tracer& tracer = *new Tracer();
@@ -191,14 +205,38 @@ Status RunCommand(const Flags& flags, bool explain) {
   if (!metrics_json.empty() || !metrics_prom.empty()) {
     config.metrics_registry = &registry;
   }
-  if (!trace_out.empty() || !metrics_json.empty() || !metrics_prom.empty()) {
+  bool events_spilling = false;
+  if (!events_out.empty()) {
+    PREGELIX_RETURN_NOT_OK(EventJournal::Global().SetSpillPath(events_out));
+    events_spilling = true;
+  }
+  if (!trace_out.empty() || !metrics_json.empty() || !metrics_prom.empty() ||
+      !events_out.empty()) {
     // Flush observability output even when the process dies abnormally
     // (exit() mid-job or a PREGELIX_CHECK abort).
     crash_dump::Configure(&tracer, trace_out, &registry, metrics_json,
-                          metrics_prom);
+                          metrics_prom, &EventJournal::Global(), events_out,
+                          events_spilling);
   }
   SimulatedCluster cluster(config);
   PregelixRuntime runtime(&cluster, &dfs);
+
+  // Live observability: --admin-port serves /metrics, /jobs, /events from
+  // this process while the job runs (DESIGN.md §15).
+  std::unique_ptr<server::ObservabilityServer> admin;
+  if (flags.Has("admin-port")) {
+    server::ServerOptions opts;
+    opts.port = static_cast<int>(flags.GetInt("admin-port", 0));
+    opts.build_info = "pregelix run";
+    admin = std::make_unique<server::ObservabilityServer>(
+        opts, cluster.registry(), nullptr, nullptr);
+    PREGELIX_RETURN_NOT_OK(admin->Start());
+    admin->SetPreScrapeHook([&cluster]() { cluster.PublishMetrics(); });
+    admin->SetReady(true);
+    printf("admin server listening on %s:%d\n", admin->host().c_str(),
+           admin->port());
+    fflush(stdout);
+  }
 
   PregelixJobConfig job;
   job.input_dir = flags.Get("input");
@@ -280,6 +318,13 @@ Status RunCommand(const Flags& flags, bool explain) {
       printf("prometheus metrics in %s\n", metrics_prom.c_str());
     }
   }
+  if (!events_out.empty()) {
+    EventJournal::Global().FlushSpill();
+    printf("event journal in %s\n", events_out.c_str());
+  }
+  // All observability output is on disk; silence the exit hooks so they
+  // don't re-export over the finished files during exit().
+  crash_dump::MarkClean();
 
   if (explain) {
     PREGELIX_RETURN_NOT_OK(PrintExplain(flags, result));
@@ -326,6 +371,37 @@ Status RunCommand(const Flags& flags, bool explain) {
   if (!job.output_dir.empty()) {
     printf("results in %s\n", dfs.Resolve(job.output_dir).c_str());
   }
+  return Status::OK();
+}
+
+/// `pregelix serve`: a standalone scrape target. Useful as a systemd-style
+/// long-running endpoint and for smoke tests (tools/bench_smoke.sh); jobs
+/// run in *other* processes do not show up here — the registries are
+/// process-local. --admin-port=0 picks an ephemeral port and prints it.
+Status ServeCommand(const Flags& flags) {
+  server::ServerOptions opts;
+  opts.port = static_cast<int>(flags.GetInt("admin-port", 9090));
+  opts.build_info = "pregelix serve";
+  server::ObservabilityServer srv(opts, nullptr, nullptr, nullptr);
+  PREGELIX_RETURN_NOT_OK(srv.Start());
+  srv.SetReady(true);
+  EventJournal::Global().Append("server.start", "", -1,
+                                {{"port", std::to_string(srv.port())}});
+  printf("admin server listening on %s:%d\n", srv.host().c_str(),
+         srv.port());
+  fflush(stdout);
+
+  const int64_t serve_seconds = flags.GetInt("serve-seconds", 0);
+  const auto started = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (serve_seconds > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(serve_seconds)) {
+      break;
+    }
+  }
+  srv.Stop();
   return Status::OK();
 }
 
@@ -428,12 +504,14 @@ int Main(int argc, char** argv) {
     }
     SetLogLevel(level);
   }
-  if (!flags.Has("dfs")) {
+  if (!flags.Has("dfs") && command != "serve") {
     fprintf(stderr, "--dfs=<root-dir> is required\n");
     return Usage();
   }
   Status s;
-  if (command == "run") {
+  if (command == "serve") {
+    s = ServeCommand(flags);
+  } else if (command == "run") {
     s = RunCommand(flags, /*explain=*/false);
   } else if (command == "explain") {
     s = RunCommand(flags, /*explain=*/true);

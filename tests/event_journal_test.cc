@@ -1,0 +1,202 @@
+// EventJournal: ring wraparound, seq continuity, since=/limit filtering,
+// JSONL rendering + escaping, the --events-out spill, DumpTail, the
+// crash-dump integration (exactly-once), and the fault-injector "fault.fire"
+// feed.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/crash_dump.h"
+#include "common/event_journal.h"
+#include "common/fault_injection.h"
+#include "common/temp_dir.h"
+
+namespace pregelix {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(EventJournalTest, SeqStartsAtOneAndIsContinuous) {
+  EventJournal journal(16);
+  EXPECT_EQ(journal.last_seq(), 0u);
+  EXPECT_EQ(journal.Append("a", "job", 1), 1u);
+  EXPECT_EQ(journal.Append("b", "job", 2), 2u);
+  EXPECT_EQ(journal.Append("c", "", -1), 3u);
+  EXPECT_EQ(journal.last_seq(), 3u);
+  EXPECT_EQ(journal.dropped(), 0u);
+
+  const std::vector<JournalEvent> all = journal.SnapshotSince(0);
+  ASSERT_EQ(all.size(), 3u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].seq, i + 1);
+  }
+  EXPECT_EQ(all[0].category, "a");
+  EXPECT_EQ(all[2].superstep, -1);
+}
+
+TEST(EventJournalTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  EventJournal journal(8);
+  for (int i = 1; i <= 20; ++i) {
+    journal.Append("ev", "job", i);
+  }
+  EXPECT_EQ(journal.last_seq(), 20u);
+  EXPECT_EQ(journal.dropped(), 12u);
+
+  // A replay from 0 only sees the 8 newest events, in seq order.
+  const std::vector<JournalEvent> events = journal.SnapshotSince(0);
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_EQ(events[i].superstep, static_cast<int64_t>(13 + i));
+  }
+}
+
+TEST(EventJournalTest, SinceAndLimitFiltering) {
+  EventJournal journal(32);
+  for (int i = 0; i < 20; ++i) journal.Append("ev", "job", i);
+
+  const std::vector<JournalEvent> tail = journal.SnapshotSince(15);
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail.front().seq, 16u);
+  EXPECT_EQ(tail.back().seq, 20u);
+
+  EXPECT_TRUE(journal.SnapshotSince(20).empty());
+  EXPECT_TRUE(journal.SnapshotSince(99).empty());
+
+  // limit keeps the *newest* N of the filtered range.
+  const std::vector<JournalEvent> newest = journal.SnapshotSince(0, 3);
+  ASSERT_EQ(newest.size(), 3u);
+  EXPECT_EQ(newest.front().seq, 18u);
+  EXPECT_EQ(newest.back().seq, 20u);
+}
+
+TEST(EventJournalTest, JsonRenderingEscapesSpecials) {
+  JournalEvent e;
+  e.seq = 7;
+  e.wall_us = 123;
+  e.steady_ns = 456;
+  e.category = "cat";
+  e.job_id = "job \"q\"";
+  e.superstep = 3;
+  e.kv = {{"key", "line1\nline2\ttab\\slash"}};
+  std::ostringstream os;
+  WriteEventJson(os, e);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"job\":\"job \\\"q\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab\\\\slash"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+TEST(EventJournalTest, WriteJsonlOneLinePerEvent) {
+  EventJournal journal(8);
+  journal.Append("a", "j", 1);
+  journal.Append("b", "j", 2, {{"k", "v"}});
+  std::ostringstream os;
+  journal.WriteJsonl(os, 0);
+  const std::string out = os.str();
+  size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(out.find("\"category\":\"b\""), std::string::npos);
+  EXPECT_NE(out.find("\"kv\":{\"k\":\"v\"}"), std::string::npos);
+}
+
+TEST(EventJournalTest, SpillWritesEveryEventEvenPastRingCapacity) {
+  TempDir dir("journal-spill");
+  const std::string path = dir.path() + "/events.jsonl";
+  EventJournal journal(4);
+  ASSERT_TRUE(journal.SetSpillPath(path).ok());
+  for (int i = 1; i <= 10; ++i) journal.Append("ev", "j", i);
+  // The ring only holds 4, but the spill holds all 10.
+  EXPECT_EQ(journal.SnapshotSince(0).size(), 4u);
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 10u);
+  EXPECT_NE(lines[0].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[9].find("\"seq\":10"), std::string::npos);
+
+  // Disabling the spill stops the file from growing.
+  ASSERT_TRUE(journal.SetSpillPath("").ok());
+  journal.Append("ev", "j", 11);
+  EXPECT_EQ(ReadLines(path).size(), 10u);
+}
+
+TEST(EventJournalTest, DumpTailWritesNewestEvents) {
+  TempDir dir("journal-tail");
+  const std::string path = dir.path() + "/tail.jsonl";
+  EventJournal journal(64);
+  for (int i = 1; i <= 40; ++i) journal.Append("ev", "j", i);
+  ASSERT_TRUE(journal.DumpTail(path, 5).ok());
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines.front().find("\"seq\":36"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"seq\":40"), std::string::npos);
+}
+
+TEST(EventJournalTest, CrashDumpFlushesTailExactlyOnce) {
+  TempDir dir("journal-crash");
+  const std::string path = dir.path() + "/crash-events.jsonl";
+  EventJournal journal(64);
+  journal.Append("before", "j", 1);
+  crash_dump::Configure(/*tracer=*/nullptr, "", /*registry=*/nullptr, "", "",
+                        &journal, path, /*events_spill_active=*/false);
+  crash_dump::DumpNow();
+  ASSERT_EQ(ReadLines(path).size(), 1u);
+
+  // A second DumpNow is a no-op: events appended in between must not
+  // appear (the first dump won).
+  journal.Append("after", "j", 2);
+  crash_dump::DumpNow();
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"category\":\"before\""), std::string::npos);
+}
+
+TEST(EventJournalTest, CrashDumpFlushesLiveSpillInsteadOfTruncating) {
+  TempDir dir("journal-crash-spill");
+  const std::string path = dir.path() + "/events.jsonl";
+  EventJournal journal(4);
+  ASSERT_TRUE(journal.SetSpillPath(path).ok());
+  for (int i = 1; i <= 9; ++i) journal.Append("ev", "j", i);
+  crash_dump::Configure(nullptr, "", nullptr, "", "", &journal, path,
+                        /*events_spill_active=*/true);
+  crash_dump::DumpNow();
+  // All 9 spilled lines survive — the dump must not truncate the live
+  // spill down to the 4-event in-memory tail.
+  EXPECT_EQ(ReadLines(path).size(), 9u);
+  ASSERT_TRUE(journal.SetSpillPath("").ok());
+}
+
+TEST(EventJournalTest, FaultInjectorFiresAreJournaled) {
+  const uint64_t before = EventJournal::Global().last_seq();
+  fault::FaultSpec spec;
+  spec.trigger = fault::Trigger::kAlways;
+  spec.code = StatusCode::kIoError;
+  fault::FaultInjector::Global().Arm("test.journal.point", spec);
+  EXPECT_FALSE(fault::MaybeFail("test.journal.point").ok());
+  fault::FaultInjector::Global().Reset();
+
+  bool found = false;
+  for (const JournalEvent& e : EventJournal::Global().SnapshotSince(before)) {
+    if (e.category != "fault.fire") continue;
+    for (const auto& [k, v] : e.kv) {
+      if (k == "point" && v == "test.journal.point") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pregelix

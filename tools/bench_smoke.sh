@@ -5,16 +5,21 @@
 # machine-readable", not any particular number. Wired up as the `bench_smoke`
 # ctest test (tier1 label) and as a stage of tools/check_static.sh.
 #
-# usage: bench_smoke.sh <bench_micro_dataflow binary> <output json>
+# With a third argument — the pregelix CLI binary — it additionally
+# smoke-tests the observability server: `pregelix serve` on an ephemeral
+# port, then /healthz and /metrics must answer 200 (DESIGN.md §15).
+#
+# usage: bench_smoke.sh <bench_micro_dataflow binary> <output json> [pregelix]
 
 set -u
 
-if [ "$#" -ne 2 ]; then
-  echo "usage: $0 <bench-binary> <out.json>" >&2
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+  echo "usage: $0 <bench-binary> <out.json> [pregelix-cli]" >&2
   exit 2
 fi
 BIN="$1"
 OUT="$2"
+CLI="${3:-}"
 
 # A tiny min_time runs each benchmark for a single iteration batch. (The
 # pinned google-benchmark predates the `--benchmark_min_time=1x` syntax.)
@@ -24,7 +29,7 @@ OUT="$2"
   exit 1
 }
 
-python3 - "$OUT" <<'EOF'
+python3 - "$OUT" <<'EOF' || exit 1
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -36,3 +41,46 @@ for b in benches:
         sys.exit(f"bench_smoke: malformed benchmark entry: {b}")
 print(f"bench_smoke: OK ({len(benches)} benchmarks, valid JSON)")
 EOF
+
+# --- Optional: observability-server smoke -----------------------------------
+if [ -z "$CLI" ]; then
+  exit 0
+fi
+if ! command -v curl >/dev/null 2>&1; then
+  echo "bench_smoke: no curl on PATH, skipping server smoke"
+  exit 0
+fi
+
+SERVE_LOG="$(mktemp)"
+"$CLI" serve --admin-port=0 --serve-seconds=20 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+cleanup() {
+  kill "$SERVE_PID" 2>/dev/null
+  wait "$SERVE_PID" 2>/dev/null
+  rm -f "$SERVE_LOG"
+}
+trap cleanup EXIT
+
+# The CLI prints "admin server listening on 127.0.0.1:<port>" once bound.
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*admin server listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$SERVE_LOG" | head -n 1)"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "bench_smoke: pregelix serve never reported its port" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+
+for path in /healthz /metrics; do
+  CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+          "http://127.0.0.1:$PORT$path")"
+  if [ "$CODE" != "200" ]; then
+    echo "bench_smoke: GET $path returned $CODE (want 200)" >&2
+    exit 1
+  fi
+done
+echo "bench_smoke: OK (server answered /healthz and /metrics on :$PORT)"

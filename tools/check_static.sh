@@ -6,10 +6,12 @@
 #      (-Wthread-safety -Werror), a compile-only proof of the locking
 #      annotations in src/common/thread_annotations.h
 #   2. clang-tidy over src/ with the checked-in .clang-tidy
-#   3. tools/lint_fault_points.py (fault-point naming + DESIGN.md table)
-#      and tools/lint_metrics.py (metric naming + DESIGN.md table)
+#   3. tools/lint_fault_points.py (fault-point naming + DESIGN.md table),
+#      tools/lint_metrics.py (metric naming + DESIGN.md table), and
+#      tools/lint_endpoints.py (server endpoints vs the DESIGN.md table)
 #   4. bench smoke: one short iteration of the kernel microbenchmarks via
-#      tools/bench_smoke.sh (needs a built build/ tree; skipped otherwise)
+#      tools/bench_smoke.sh (needs a built build/ tree; skipped otherwise),
+#      plus an HTTP smoke of `pregelix serve` when the CLI is built
 #   5. --tsan: additionally build with PREGELIX_SANITIZE=thread and run the
 #      `tsan`-labeled ctest suites (tier-1 + concurrency_stress_test)
 #
@@ -110,13 +112,23 @@ else
   fail "lint_metrics.py"
 fi
 
+# --- 3c. Endpoint lint ------------------------------------------------------
+note "endpoint lint (server routes vs DESIGN.md endpoint table)"
+if python3 "$REPO/tools/lint_endpoints.py"; then
+  :
+else
+  fail "lint_endpoints.py"
+fi
+
 # --- 4. Bench smoke ---------------------------------------------------------
-note "bench smoke (kernels run, JSON output valid)"
+note "bench smoke (kernels run, JSON output valid; server scrape)"
 BENCH_BIN="$REPO/build/bench/bench_micro_dataflow"
+CLI_BIN="$REPO/build/src/tools/pregelix"
 if [ ! -x "$BENCH_BIN" ]; then
   skip "no built bench_micro_dataflow (build the default tree first)"
 elif "$REPO/tools/bench_smoke.sh" "$BENCH_BIN" \
-     "$REPO/build/BENCH_kernels.json"; then
+     "$REPO/build/BENCH_kernels.json" \
+     "$([ -x "$CLI_BIN" ] && echo "$CLI_BIN")"; then
   :
 else
   fail "bench_smoke.sh"

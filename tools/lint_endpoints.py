@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Cross-checks observability-server endpoints against DESIGN.md.
+
+Two-way contract (wired into the `check-static` target, next to
+lint_fault_points.py and lint_metrics.py):
+
+  1. Every endpoint in the `kEndpoints` table in src/server/server.cc
+     appears in the DESIGN.md section-15 endpoint table.
+  2. Every endpoint documented in that table appears in `kEndpoints`
+     (a documented-but-unserved endpoint is as much a lint error as an
+     undocumented live one).
+
+The `kEndpoints` array is the single routing vocabulary: Dispatch routes
+by exact match against it (plus the `/jobs/<id>` prefix rule), and the
+request-counter labels are folded onto it, so keeping it in lockstep
+with the docs keeps routing, metrics labels, and documentation aligned.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SERVER_CC = REPO / "src" / "server" / "server.cc"
+DESIGN = REPO / "DESIGN.md"
+
+ARRAY = re.compile(r"kEndpoints\[\]\s*=\s*\{(.*?)\};", re.S)
+LITERAL = re.compile(r'"(/[^"]*)"')
+
+# Rows look like:  | `/metrics` | Prometheus ... |
+TABLE_ENDPOINT = re.compile(r"`(/[^`]*)`")
+
+
+def collect_src_endpoints():
+    """Endpoints listed in the kEndpoints array in server.cc."""
+    if not SERVER_CC.exists():
+        sys.stderr.write(f"lint_endpoints: {SERVER_CC} does not exist\n")
+        sys.exit(1)
+    match = ARRAY.search(SERVER_CC.read_text())
+    if match is None:
+        sys.stderr.write(
+            "lint_endpoints: cannot find the kEndpoints array in "
+            f"{SERVER_CC.relative_to(REPO)}\n")
+        sys.exit(1)
+    return set(LITERAL.findall(match.group(1)))
+
+
+def collect_design_endpoints():
+    """Endpoints listed in the DESIGN.md endpoint table."""
+    text = DESIGN.read_text()
+    match = re.search(
+        r"^\*\*Endpoint table\*\*.*?\n(\|.*?)\n\n", text, re.S | re.M)
+    if match is None:
+        sys.stderr.write(
+            "lint_endpoints: cannot find the endpoint table in DESIGN.md "
+            "(expected after the '**Endpoint table**' paragraph)\n")
+        sys.exit(1)
+    endpoints = set()
+    for line in match.group(1).splitlines():
+        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
+            continue
+        first_cell = line.split("|")[1]
+        endpoints.update(TABLE_ENDPOINT.findall(first_cell))
+    return endpoints
+
+
+def main():
+    src = collect_src_endpoints()
+    design = collect_design_endpoints()
+    errors = []
+
+    for endpoint in sorted(src - design):
+        errors.append(
+            f"endpoint '{endpoint}' is served (kEndpoints in "
+            f"src/server/server.cc) but missing from the DESIGN.md "
+            f"endpoint table")
+    for endpoint in sorted(design - src):
+        errors.append(
+            f"endpoint '{endpoint}' is documented in DESIGN.md but not in "
+            f"kEndpoints in src/server/server.cc")
+
+    if errors:
+        for e in errors:
+            sys.stderr.write(f"lint_endpoints: {e}\n")
+        sys.stderr.write(
+            f"lint_endpoints: FAILED ({len(errors)} error(s); "
+            f"{len(src)} endpoints in src/, {len(design)} in DESIGN.md)\n")
+        return 1
+
+    print(f"lint_endpoints: OK ({len(src)} endpoints, "
+          f"src/ and DESIGN.md agree)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
