@@ -24,11 +24,16 @@ enum class JoinStrategy {
   /// 1/5 of the graph. Algorithms like CC, which are dense early and sparse
   /// late (Figure 14c), get both plans' best halves.
   kAdaptive,
+  /// Feedback-driven: the PlanOptimizer re-chooses per superstep from the
+  /// previous superstep's observed stats and profile, with hysteresis and
+  /// reactive stall/spill switches (DESIGN.md "Adaptive plan optimization").
+  kAuto,
 };
 
 enum class GroupByStrategy {
   kSort,      ///< sort-based group-by at sender and receiver
   kHashSort,  ///< hash pre-aggregation with sorted runs
+  kAuto,      ///< per-superstep choice by the PlanOptimizer
 };
 
 enum class GroupByConnector {
@@ -37,11 +42,16 @@ enum class GroupByConnector {
   /// m-to-n partitioning merging connector (sender-side materializing); the
   /// receiver applies a one-pass preclustered group-by.
   kMerged,
+  /// Per-superstep choice by the PlanOptimizer.
+  kAuto,
 };
 
 enum class VertexStorage {
   kBTree,     ///< in-place updates; best for stable-size vertex data
   kLsmBTree,  ///< out-of-place; best under heavy mutation / size churn
+  /// Resolved once at job admission by the PlanOptimizer (indexes are built
+  /// at load; storage cannot switch mid-job).
+  kAuto,
 };
 
 /// One Pregelix job: a vertex program applied to a graph until it halts.

@@ -1,0 +1,409 @@
+#include "pregel/plan_optimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/event_journal.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "pregel/state.h"
+#include "server/job_registry.h"
+
+namespace pregelix {
+
+namespace {
+
+/// Installed by SetPlanDecisionOverrideForTesting. Read on the driver path
+/// only (single-threaded per job); tests install before Run and clear after.
+PlanDecisionOverride g_decision_override;
+
+std::string FormatRatio(const char* tag, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s=%.3f", tag, v);
+  return buf;
+}
+
+}  // namespace
+
+void SetPlanDecisionOverrideForTesting(PlanDecisionOverride fn) {
+  g_decision_override = std::move(fn);
+}
+
+int64_t ApproxVertexScanBytes(int64_t num_vertices, int64_t num_edges) {
+  // A full-outer pass reads every Vertex record: ~16 bytes of key + fixed
+  // fields per vertex and ~8 bytes per edge entry. Only the order of
+  // magnitude matters — it is compared against message volume.
+  return num_vertices * 16 + num_edges * 8;
+}
+
+JoinStrategy LegacyAdaptiveJoin(int64_t superstep, int64_t live_vertices,
+                                int64_t messages, int64_t message_bytes,
+                                int64_t num_vertices, int64_t num_edges) {
+  // Superstep 1 always scans: everything starts live.
+  if (superstep <= 1) return JoinStrategy::kFullOuter;
+  // Once the active frontier (live vertices plus combined messages) drops
+  // below 1/5 of the graph, probing beats scanning...
+  const int64_t frontier = live_vertices + messages;
+  if (frontier * 5 >= num_vertices) return JoinStrategy::kFullOuter;
+  // ...unless the superstep is message-bound anyway: a sparse frontier with
+  // heavy fanout (few destinations, large combined payloads) used to pick
+  // the probe join here and spill — the probe side saves the sequential
+  // scan but pays random descents per key while still moving every message
+  // byte. Stay with the merge scan when message volume rivals it.
+  if (message_bytes * 2 >= ApproxVertexScanBytes(num_vertices, num_edges)) {
+    return JoinStrategy::kFullOuter;
+  }
+  return JoinStrategy::kLeftOuter;
+}
+
+PlanOptimizer::PlanOptimizer(PlanOptimizerOptions opts) : opts_(opts) {
+  // Hash pre-aggregation starts as the optimistic default: with the
+  // accumulator table inside budget it is never worse than sort (it skips
+  // the run-generation passes), and when it does overflow it degrades to
+  // sorted runs — the reactive spill demotion below catches exactly that.
+  current_.groupby = GroupByStrategy::kHashSort;
+}
+
+void PlanOptimizer::Observe(const OptimizerFeedback& feedback) {
+  fb_ = feedback;
+  has_feedback_ = true;
+}
+
+bool PlanOptimizer::CooledDown(const KnobState& k, int64_t superstep) const {
+  return superstep - k.last_switch > opts_.cooldown_supersteps;
+}
+
+bool PlanOptimizer::Confirm(KnobState* k, int64_t superstep, bool wants_change,
+                            bool reactive) {
+  if (!wants_change) {
+    k->pending_streak = 0;
+    return false;
+  }
+  if (!CooledDown(*k, superstep)) return false;
+  ++k->pending_streak;
+  if (reactive || k->pending_streak >= opts_.confirm_supersteps) {
+    k->pending_streak = 0;
+    k->last_switch = superstep;
+    return true;
+  }
+  return false;
+}
+
+PlanDecision PlanOptimizer::Decide(int64_t superstep) {
+  if (superstep == decided_superstep_) return decided_;
+  last_reactive_ = false;
+  last_reason_ = superstep <= 1 || !has_feedback_ ? "initial" : "carry";
+
+  if (superstep > 1 && has_feedback_) {
+    const OptimizerFeedback& fb = fb_;
+    const double ratio =
+        fb.num_vertices <= 0
+            ? 1.0
+            : static_cast<double>(fb.live_vertices + fb.messages) /
+                  static_cast<double>(fb.num_vertices);
+    const bool msg_dominant =
+        static_cast<double>(fb.message_bytes) >=
+        opts_.message_scan_ratio *
+            static_cast<double>(
+                ApproxVertexScanBytes(fb.num_vertices, fb.num_edges));
+    const uint64_t spill_budget = static_cast<uint64_t>(
+        opts_.spill_budget_factor *
+        static_cast<double>(opts_.groupby_memory_bytes));
+    const bool spill_over = fb.spill_bytes > spill_budget;
+
+    // --- join: frontier ratio with a [sparse, dense] hysteresis band. A
+    // stall relaxes the edge to the middle of the band (reactive) — a plan
+    // that is stalling does not get the benefit of the doubt.
+    const bool wants_loj =
+        current_.join == JoinStrategy::kFullOuter && !msg_dominant &&
+        (ratio < opts_.sparse_frontier_ratio ||
+         (fb.stalled && ratio < opts_.dense_frontier_ratio));
+    const bool wants_foj =
+        current_.join == JoinStrategy::kLeftOuter &&
+        (ratio > opts_.dense_frontier_ratio || msg_dominant ||
+         (fb.stalled && ratio > opts_.sparse_frontier_ratio));
+    if (Confirm(&join_state_, superstep, wants_loj || wants_foj,
+                fb.stalled)) {
+      current_.join = wants_loj ? JoinStrategy::kLeftOuter
+                                : JoinStrategy::kFullOuter;
+      ++switch_count_;
+      last_reactive_ = last_reactive_ || fb.stalled;
+      last_reason_ = fb.stalled         ? "stall"
+                     : msg_dominant     ? "msg-volume"
+                                        : FormatRatio("frontier", ratio);
+    }
+
+    // --- group-by: hash pre-aggregation is the optimistic start; sort is
+    // the reactive fallback when the hash table thrashes past the budget.
+    // After a spill demotion, re-promotion to hash must be earned: the
+    // combiner has to demonstrably reduce (plan profile) with zero spills.
+    const double reduction =
+        fb.combine_tuples_out > 0
+            ? static_cast<double>(fb.combine_tuples_in) /
+                  static_cast<double>(fb.combine_tuples_out)
+            : 0.0;
+    const bool wants_hash = current_.groupby == GroupByStrategy::kSort &&
+                            reduction >= opts_.hash_reduction_threshold &&
+                            fb.spill_count == 0;
+    const bool wants_sort =
+        current_.groupby == GroupByStrategy::kHashSort && spill_over;
+    if (Confirm(&groupby_state_, superstep, wants_hash || wants_sort,
+                /*reactive=*/wants_sort)) {
+      current_.groupby = wants_hash ? GroupByStrategy::kHashSort
+                                    : GroupByStrategy::kSort;
+      ++switch_count_;
+      last_reactive_ = last_reactive_ || wants_sort;
+      if (wants_sort) {
+        last_reason_ = "spill";
+      } else if (last_reason_ == "carry") {
+        last_reason_ = FormatRatio("reduction", reduction);
+      }
+    }
+
+    // --- connector: merged (sender-materializing, one-pass preclustered
+    // receive) is the relief valve for receive-side memory pressure and
+    // skew. The relief hides the original signal, so the backswitch
+    // requires the load driver — message volume — to fall to half of what
+    // it was at switch time (hysteresis against relief-induced flapping).
+    const bool conn_reactive = spill_over || fb.stalled;
+    const bool wants_merged =
+        current_.connector == GroupByConnector::kUnmerged &&
+        (fb.spill_count > 0 || fb.groupby_skew >= opts_.skew_threshold);
+    const bool wants_unmerged =
+        current_.connector == GroupByConnector::kMerged &&
+        fb.spill_count == 0 && fb.groupby_skew < opts_.skew_threshold &&
+        fb.message_bytes * 2 < connector_switch_load_;
+    if (Confirm(&connector_state_, superstep, wants_merged || wants_unmerged,
+                /*reactive=*/wants_merged && conn_reactive)) {
+      current_.connector = wants_merged ? GroupByConnector::kMerged
+                                        : GroupByConnector::kUnmerged;
+      if (wants_merged) connector_switch_load_ = fb.message_bytes;
+      ++switch_count_;
+      last_reactive_ = last_reactive_ || (wants_merged && conn_reactive);
+      if (last_reason_ == "carry") {
+        last_reason_ = wants_merged
+                           ? (spill_over || fb.spill_count > 0 ? "spill"
+                                                               : "skew")
+                           : "load-drop";
+      }
+    }
+  }
+
+  PlanDecision out = current_;
+  if (g_decision_override && g_decision_override(superstep, &out)) {
+    // Adversarial/test schedule: the override's plan is adopted wholesale
+    // (and becomes the baseline the next superstep diffs against).
+    if (out != current_) ++switch_count_;
+    current_ = out;
+    last_reason_ = "override";
+    last_reactive_ = false;
+  }
+  decided_superstep_ = superstep;
+  decided_ = current_;
+  return decided_;
+}
+
+VertexStorage ResolveStorageAtAdmission(const JobRuntimeContext& ctx) {
+  if (ctx.job_config->storage != VertexStorage::kAuto) {
+    return ctx.job_config->storage;
+  }
+  // Admission time has no runtime feedback; the one decisive signal is the
+  // program's own declaration. Out-of-place LSM updates win under mutation
+  // churn; in-place B-tree writes win everywhere else.
+  return ctx.program != nullptr && ctx.program->MutatesGraph()
+             ? VertexStorage::kLsmBTree
+             : VertexStorage::kBTree;
+}
+
+PlanDecision ResolvePlanDecision(JobRuntimeContext* ctx) {
+  const PregelixJobConfig& cfg = *ctx->job_config;
+  PlanDecision d;
+  switch (cfg.join) {
+    case JoinStrategy::kFullOuter:
+    case JoinStrategy::kLeftOuter:
+      d.join = cfg.join;
+      break;
+    case JoinStrategy::kAdaptive:
+    case JoinStrategy::kAuto:
+      // kAuto without an optimizer (plan-generator unit tests, direct
+      // BuildSuperstepJob callers) deterministically re-decides via the
+      // legacy heuristic — also what a recovering driver does before its
+      // optimizer has observed anything.
+      d.join = LegacyAdaptiveJoin(ctx->current_superstep,
+                                  ctx->gs.live_vertices, ctx->gs.messages,
+                                  ctx->gs.message_bytes, ctx->gs.num_vertices,
+                                  ctx->gs.num_edges);
+      break;
+  }
+  // Matches the optimizer's own optimistic start so a recovering driver
+  // (optimizer not yet fed) re-derives the same superstep-1 plan.
+  d.groupby = cfg.groupby == GroupByStrategy::kAuto
+                  ? GroupByStrategy::kHashSort
+                  : cfg.groupby;
+  d.connector = cfg.groupby_connector == GroupByConnector::kAuto
+                    ? GroupByConnector::kUnmerged
+                    : cfg.groupby_connector;
+  if (ctx->optimizer != nullptr) {
+    const PlanDecision chosen = ctx->optimizer->Decide(ctx->current_superstep);
+    if (cfg.join == JoinStrategy::kAuto) d.join = chosen.join;
+    if (cfg.groupby == GroupByStrategy::kAuto) d.groupby = chosen.groupby;
+    if (cfg.groupby_connector == GroupByConnector::kAuto) {
+      d.connector = chosen.connector;
+    }
+  }
+  ctx->current_join = d.join;
+  ctx->current_groupby = d.groupby;
+  ctx->current_connector = d.connector;
+  return d;
+}
+
+Status ResolveAndPublishPlan(JobRuntimeContext* ctx, MetricsRegistry* registry,
+                             PlanDecisionRecord* record) {
+  const PlanDecision d = ResolvePlanDecision(ctx);
+  record->superstep = ctx->current_superstep;
+  record->plan = d;
+  if (ctx->optimizer != nullptr) {
+    record->reactive = ctx->optimizer->last_reactive();
+    record->reason = ctx->optimizer->last_reason();
+  } else {
+    record->reactive = false;
+    record->reason =
+        ctx->job_config->join == JoinStrategy::kAdaptive ? "adaptive"
+                                                         : "static";
+  }
+
+  struct Change {
+    const char* knob;
+    std::string from, to;
+  };
+  std::vector<Change> changes;
+  if (ctx->has_prev_plan) {
+    if (d.join != ctx->prev_plan.join) {
+      changes.push_back({"join", JoinStrategyName(ctx->prev_plan.join),
+                         JoinStrategyName(d.join)});
+    }
+    if (d.groupby != ctx->prev_plan.groupby) {
+      changes.push_back({"groupby",
+                         GroupByStrategyName(ctx->prev_plan.groupby),
+                         GroupByStrategyName(d.groupby)});
+    }
+    if (d.connector != ctx->prev_plan.connector) {
+      changes.push_back({"connector",
+                         GroupByConnectorName(ctx->prev_plan.connector),
+                         GroupByConnectorName(d.connector)});
+    }
+  }
+  record->switched.clear();
+  for (const Change& c : changes) {
+    if (!record->switched.empty()) record->switched += ",";
+    record->switched += c.knob;
+  }
+
+  // The switch boundary is a fault point: torture schedules crash exactly
+  // here to prove recovery crosses plan switches. It fires before anything
+  // is published, so a crashed switch is never journaled as having run.
+  if (!changes.empty()) {
+    PREGELIX_RETURN_NOT_OK(fault::MaybeFail("pregel.plan.switch"));
+  }
+
+  const std::string& job = ctx->job_config->name;
+  if (registry != nullptr) {
+    registry->GetCounter("pregelix.optimizer.decisions", {{"job", job}})
+        ->Increment();
+    registry->GetGauge("pregelix.optimizer.left_outer_join", {{"job", job}})
+        ->Set(d.join == JoinStrategy::kLeftOuter ? 1 : 0);
+    for (const Change& c : changes) {
+      registry
+          ->GetCounter("pregelix.optimizer.switches",
+                       {{"job", job}, {"knob", c.knob}})
+          ->Increment();
+    }
+    if (!changes.empty() && record->reactive) {
+      registry
+          ->GetCounter("pregelix.optimizer.reactive_switches", {{"job", job}})
+          ->Increment();
+    }
+  }
+  for (const Change& c : changes) {
+    EventJournal::Global().Append(
+        "plan.switch", ctx->job_id, ctx->current_superstep,
+        {{"knob", c.knob},
+         {"from", c.from},
+         {"to", c.to},
+         {"reason", record->reason},
+         {"reactive", record->reactive ? "true" : "false"},
+         {"plan", PlanDecisionString(d)}});
+    PLOG(Info) << "plan switch [" << job << "] superstep "
+               << ctx->current_superstep << ": " << c.knob << " " << c.from
+               << " -> " << c.to << " (" << record->reason << ")";
+  }
+  server::JobStatusRegistry::Global().OnPlanDecision(
+      ctx->job_id, PlanDecisionString(d),
+      static_cast<int>(changes.size()));
+
+  ctx->prev_plan = d;
+  ctx->has_prev_plan = true;
+  return Status::OK();
+}
+
+const char* JoinStrategyName(JoinStrategy join) {
+  switch (join) {
+    case JoinStrategy::kFullOuter:
+      return "fullouter";
+    case JoinStrategy::kLeftOuter:
+      return "leftouter";
+    case JoinStrategy::kAdaptive:
+      return "adaptive";
+    case JoinStrategy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const char* GroupByStrategyName(GroupByStrategy groupby) {
+  switch (groupby) {
+    case GroupByStrategy::kSort:
+      return "sort";
+    case GroupByStrategy::kHashSort:
+      return "hashsort";
+    case GroupByStrategy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const char* GroupByConnectorName(GroupByConnector connector) {
+  switch (connector) {
+    case GroupByConnector::kUnmerged:
+      return "unmerged";
+    case GroupByConnector::kMerged:
+      return "merged";
+    case GroupByConnector::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const char* VertexStorageName(VertexStorage storage) {
+  switch (storage) {
+    case VertexStorage::kBTree:
+      return "btree";
+    case VertexStorage::kLsmBTree:
+      return "lsm";
+    case VertexStorage::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::string PlanDecisionString(const PlanDecision& d) {
+  std::string out = JoinStrategyName(d.join);
+  out += "/";
+  out += GroupByStrategyName(d.groupby);
+  out += "/";
+  out += GroupByConnectorName(d.connector);
+  return out;
+}
+
+}  // namespace pregelix

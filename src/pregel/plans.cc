@@ -27,14 +27,15 @@ namespace {
 // Shared helpers
 
 /// Creates (or re-creates) the Vertex index of partition p per the job's
-/// storage hint. Existing index files are removed first.
+/// admission-resolved storage choice (ctx->current_storage; never kAuto).
+/// Existing index files are removed first.
 Status MakeVertexIndex(JobRuntimeContext* ctx, int p,
                        std::unique_ptr<OrderedIndex>* out) {
   const std::string dir = ctx->PartitionDir(p);
   PREGELIX_CHECK(EnsureDir(dir));
   const int worker = ctx->cluster->worker_of_partition(p);
   BufferCache& cache = ctx->cluster->cache(worker);
-  if (ctx->job_config->storage == VertexStorage::kBTree) {
+  if (ctx->current_storage == VertexStorage::kBTree) {
     const std::string path = dir + "/vertex.btree";
     DeleteFileIfExists(path);
     std::unique_ptr<BTree> tree;
@@ -241,7 +242,7 @@ class ComputeDriver {
     contribution_.has_aggregate = agg_hooks_.valid();
     const GroupCombiner combiner = ctx->program->MsgCombiner();
     SortConfig gconf = MakeSortConfig(ctx, task, "sendgb");
-    if (ctx->job_config->groupby == GroupByStrategy::kHashSort) {
+    if (ctx->current_groupby == GroupByStrategy::kHashSort) {
       hash_grouper_ =
           std::make_unique<HashSortGrouper>(gconf, combiner);
     } else {
@@ -375,7 +376,7 @@ class ComputeDriver {
   Status ApplyUpdate(const std::string& key, bool vertex_exists,
                      const Slice& old_bytes, const std::string& new_bytes) {
     const bool is_btree =
-        ctx_->job_config->storage == VertexStorage::kBTree;
+        ctx_->current_storage == VertexStorage::kBTree;
     const bool in_place_safe = is_btree && vertex_exists &&
                                old_bytes.size() == new_bytes.size();
     if (!defer_updates_ || in_place_safe) {
@@ -536,14 +537,16 @@ Status RunCombineOp(JobRuntimeContext* ctx, TaskContext& task) {
       ctx->PartitionDir(p) + "/msg-" +
       std::to_string(ctx->current_superstep + 1);
   TupleRunWriter writer(path, task.config->frame_size, 2, task.metrics);
+  uint64_t payload_bytes = 0;
   auto emit = [&](std::span<const Slice> fields) {
+    payload_bytes += fields[1].size();
     return writer.Append(fields);
   };
   const GroupCombiner combiner = ctx->program->MsgCombiner();
   FrameTupleAccessor acc(2);
   std::string frame;
 
-  if (ctx->job_config->groupby_connector == GroupByConnector::kMerged) {
+  if (ctx->current_connector == GroupByConnector::kMerged) {
     // The merging connector already delivers a key-sorted stream: one-pass
     // preclustered group-by.
     PreclusteredGrouper grouper(combiner, task.metrics);
@@ -555,7 +558,7 @@ Status RunCombineOp(JobRuntimeContext* ctx, TaskContext& task) {
       }
     }
     PREGELIX_RETURN_NOT_OK(grouper.Finish(emit));
-  } else if (ctx->job_config->groupby == GroupByStrategy::kHashSort) {
+  } else if (ctx->current_groupby == GroupByStrategy::kHashSort) {
     HashSortGrouper grouper(MakeSortConfig(ctx, task, "recvgb"), combiner);
     while (task.input(0).Next(&frame)) {
       acc.Reset(Slice(frame));
@@ -580,6 +583,7 @@ Status RunCombineOp(JobRuntimeContext* ctx, TaskContext& task) {
   PREGELIX_RETURN_NOT_OK(writer.Finish());
   state.next_msg_path = path;
   state.next_msg_count = writer.count();
+  state.next_msg_bytes = payload_bytes;
   return Status::OK();
 }
 
@@ -944,19 +948,12 @@ JobSpec BuildSuperstepJob(JobRuntimeContext* ctx) {
   spec.set_name(ctx->job_config->name + "-superstep-" +
                 std::to_string(ctx->current_superstep));
 
-  // Resolve the join strategy for this superstep. kAdaptive consults the
-  // statistics collector: once the active frontier (live vertices plus
-  // combined messages) drops below 1/5 of the graph, probing beats scanning.
-  JoinStrategy join = ctx->job_config->join;
-  if (join == JoinStrategy::kAdaptive) {
-    const int64_t frontier = ctx->gs.live_vertices + ctx->gs.messages;
-    join = (ctx->current_superstep > 1 &&
-            frontier * 5 < ctx->gs.num_vertices)
-               ? JoinStrategy::kLeftOuter
-               : JoinStrategy::kFullOuter;
-  }
-  ctx->current_join = join;
-  const bool loj = join == JoinStrategy::kLeftOuter;
+  // Resolve the physical plan knobs for this superstep: static hints pass
+  // through, kAdaptive runs the legacy frontier heuristic, and kAuto
+  // consults the feedback-driven PlanOptimizer. Idempotent for the same
+  // superstep, so direct callers may rebuild the job after tweaking stats.
+  ResolvePlanDecision(ctx);
+  const bool loj = ctx->current_join == JoinStrategy::kLeftOuter;
   const int compute = spec.AddOperator(
       std::make_shared<LambdaOperatorDescriptor>(
           loj ? "compute-left-outer-join" : "compute-full-outer-join",
@@ -986,10 +983,9 @@ JobSpec BuildSuperstepJob(JobRuntimeContext* ctx) {
   msgs.src_op = compute;
   msgs.src_output = 0;
   msgs.dst_op = combine;
-  msgs.kind =
-      ctx->job_config->groupby_connector == GroupByConnector::kMerged
-          ? ConnectorKind::kMToNPartitionMerge
-          : ConnectorKind::kMToNPartition;
+  msgs.kind = ctx->current_connector == GroupByConnector::kMerged
+                  ? ConnectorKind::kMToNPartitionMerge
+                  : ConnectorKind::kMToNPartition;
   msgs.key_field = 0;
   msgs.field_count = 2;
   spec.Connect(msgs);

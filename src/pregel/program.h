@@ -104,6 +104,12 @@ class PregelProgram {
   /// Formats one vertex for result output.
   virtual Status FormatVertex(int64_t vid, const Slice& vertex_bytes,
                               std::string* line) = 0;
+
+  /// Declares that Compute may emit graph mutations (flow D6). The
+  /// admission-time storage chooser (VertexStorage::kAuto) picks the LSM
+  /// B-tree for mutation-heavy programs; everything else keeps the in-place
+  /// B-tree.
+  virtual bool MutatesGraph() const { return false; }
 };
 
 /// The default "gather into a list" combiner: payloads are length-prefixed

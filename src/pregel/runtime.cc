@@ -124,12 +124,32 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
   result->superstep_stats.clear();
   result->recoveries = 0;
   result->plan_profile.reset();
+  result->plan_decisions.clear();
+
+  // Plan chooser setup. Storage resolves once at admission (the indexes are
+  // built at load and never rebuilt mid-job); the three switchable knobs
+  // get a feedback-driven PlanOptimizer iff any of them is kAuto.
+  // RunPipeline reuses one ctx across jobs, so chooser state resets here.
+  ctx->current_storage = ResolveStorageAtAdmission(*ctx);
+  ctx->has_prev_plan = false;
+  if (config.join == JoinStrategy::kAuto ||
+      config.groupby == GroupByStrategy::kAuto ||
+      config.groupby_connector == GroupByConnector::kAuto) {
+    PlanOptimizerOptions opts;
+    opts.groupby_memory_bytes = cluster_->config().groupby_memory_bytes;
+    ctx->optimizer = std::make_shared<PlanOptimizer>(opts);
+  } else {
+    ctx->optimizer.reset();
+  }
 
   // EXPLAIN ANALYZE support: one PlanProfile per superstep, merged into a
   // cumulative job profile. Null when profiling is off — the executor and
-  // kernels then skip every instrumentation site on a pointer test.
+  // kernels then skip every instrumentation site on a pointer test. A kAuto
+  // job forces profiling on: the optimizer's combiner-reduction and skew
+  // signals only exist in the profile.
+  const bool profile_plan = config.profile_plan || ctx->optimizer != nullptr;
   std::shared_ptr<PlanProfile> cumulative;
-  if (config.profile_plan) cumulative = std::make_shared<PlanProfile>();
+  if (profile_plan) cumulative = std::make_shared<PlanProfile>();
 
   // Flags a superstep that runs far past the trailing-mean wall time while
   // it is still running (wedged exchange, pathological skew).
@@ -253,14 +273,24 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
     const std::pair<uint64_t, uint64_t> cache_before = cache_counts();
     const double step_wall = WallSeconds();
+    // Resolve (and publish: fault point, journal, metrics, /jobs/<id>) the
+    // physical plan before generating the superstep job. BuildSuperstepJob
+    // re-resolves internally, but the optimizer memoizes per superstep so
+    // the two calls agree and hysteresis state advances once.
+    PlanDecisionRecord plan_record;
+    PREGELIX_RETURN_NOT_OK(
+        ResolveAndPublishPlan(ctx, cluster_->registry(), &plan_record));
+    result->plan_decisions.push_back(plan_record);
     JobSpec spec = BuildSuperstepJob(ctx);
     std::shared_ptr<PlanProfile> step_profile;
-    if (config.profile_plan) step_profile = std::make_shared<PlanProfile>();
+    if (profile_plan) step_profile = std::make_shared<PlanProfile>();
+    const int64_t stalls_before = watchdog.stall_count();
     watchdog.Arm(superstep);
     const Status step_status =
         RunJob(*cluster_, spec, ctx, step_profile.get());
     watchdog.Disarm(
         static_cast<uint64_t>((WallSeconds() - step_wall) * 1e9));
+    const bool stalled = watchdog.stall_count() > stalls_before;
     PREGELIX_RETURN_NOT_OK(step_status);
     const std::vector<MetricsSnapshot> deltas =
         Delta(before, cluster_->SnapshotAll());
@@ -276,6 +306,8 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     stats.messages = ctx->gs.messages;
     stats.used_left_outer_join =
         ctx->current_join == JoinStrategy::kLeftOuter;
+    stats.groupby_used = ctx->current_groupby;
+    stats.connector_used = ctx->current_connector;
     stats.cluster_delta = Sum(deltas);
     const uint64_t cache_hits = cache_after.first - cache_before.first;
     const uint64_t cache_misses = cache_after.second - cache_before.second;
@@ -294,13 +326,41 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
     } else {
       stats.bytes_shuffled = stats.cluster_delta.net_bytes;
     }
+
+    // Feed the completed superstep back to the chooser; the next superstep's
+    // Decide consumes exactly these observations.
+    if (ctx->optimizer != nullptr) {
+      OptimizerFeedback fb;
+      fb.superstep = superstep;
+      fb.num_vertices = ctx->gs.num_vertices;
+      fb.num_edges = ctx->gs.num_edges;
+      fb.live_vertices = ctx->gs.live_vertices;
+      fb.messages = ctx->gs.messages;
+      fb.message_bytes = ctx->gs.message_bytes;
+      fb.bytes_shuffled = stats.bytes_shuffled;
+      fb.spill_count = stats.spill_count;
+      fb.spill_bytes = stats.spill_bytes;
+      fb.cache_hit_ratio = stats.cache_hit_ratio;
+      fb.stalled = stalled;
+      fb.plan = plan_record.plan;
+      if (stats.profile != nullptr) {
+        for (const PlanOperatorProfile& op : stats.profile->ops()) {
+          if (op.name == "combine-msgs") {
+            fb.groupby_skew = op.skew;
+            fb.combine_tuples_in = op.total.tuples_in;
+            fb.combine_tuples_out = op.total.tuples_out;
+          }
+        }
+      }
+      ctx->optimizer->Observe(fb);
+    }
     PLOG(Info) << "superstep " << superstep << " [" << config.name
                << "]: live=" << stats.live_vertices
                << " msgs=" << stats.messages << " shuffled_bytes="
                << stats.bytes_shuffled << " cache_hit="
                << static_cast<int>(stats.cache_hit_ratio * 100.0 + 0.5)
-               << "% spills=" << stats.spill_count << " join="
-               << (stats.used_left_outer_join ? "left-outer" : "full-outer");
+               << "% spills=" << stats.spill_count << " plan="
+               << PlanDecisionString(plan_record.plan);
     result->superstep_stats.push_back(stats);
     result->supersteps_sim_seconds += stats.sim_seconds;
 
@@ -318,6 +378,7 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
       brief.bytes_shuffled = stats.bytes_shuffled;
       brief.spill_count = stats.spill_count;
       brief.left_outer_join = stats.used_left_outer_join;
+      brief.plan = PlanDecisionString(plan_record.plan);
       std::string profile_json;
       if (cumulative != nullptr) {
         std::ostringstream pos;
@@ -335,7 +396,8 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
            {"shuffled_bytes", std::to_string(stats.bytes_shuffled)},
            {"spills", std::to_string(stats.spill_count)},
            {"join",
-            stats.used_left_outer_join ? "left-outer" : "full-outer"}});
+            stats.used_left_outer_join ? "left-outer" : "full-outer"},
+           {"plan", PlanDecisionString(plan_record.plan)}});
     }
 
     // Close the superstep span carrying the SuperstepStats the runtime just
@@ -410,8 +472,10 @@ Status PregelixRuntime::AdvanceGlobalState(JobRuntimeContext* ctx) {
                     ctx->vertices_removed.load();
   gs.num_edges = ctx->gs.num_edges + ctx->edges_delta.load();
   gs.messages = 0;
+  gs.message_bytes = 0;
   for (PartitionState& p : ctx->partitions) {
     gs.messages += static_cast<int64_t>(p.next_msg_count);
+    gs.message_bytes += static_cast<int64_t>(p.next_msg_bytes);
   }
   // Vertices added by resolve start life active; messages keep the job
   // alive via the halt contributions of their senders.
@@ -426,6 +490,7 @@ Status PregelixRuntime::AdvanceGlobalState(JobRuntimeContext* ctx) {
     p.msg_path = p.next_msg_path;
     p.next_msg_path.clear();
     p.next_msg_count = 0;
+    p.next_msg_bytes = 0;
     if (ctx->job_config->join != JoinStrategy::kFullOuter) {
       if (p.vid_index != nullptr) {
         Status s = p.vid_index->Destroy();

@@ -24,8 +24,11 @@ struct SuperstepStats {
   double wall_seconds = 0;  ///< actual wall clock, sanity column
   int64_t live_vertices = 0;
   int64_t messages = 0;  ///< combined messages produced for the next step
-  /// Join plan executed (interesting under JoinStrategy::kAdaptive).
+  /// Join plan executed (interesting under kAdaptive/kAuto).
   bool used_left_outer_join = false;
+  /// Group-by strategy and connector executed (interesting under kAuto).
+  GroupByStrategy groupby_used = GroupByStrategy::kSort;
+  GroupByConnector connector_used = GroupByConnector::kUnmerged;
   MetricsSnapshot cluster_delta;  ///< summed counters across workers
 
   /// Connector bytes moved this superstep (from the plan profile when
@@ -52,6 +55,9 @@ struct JobResult {
   int recoveries = 0;
   GlobalState final_gs;
   std::vector<SuperstepStats> superstep_stats;
+  /// One record per executed superstep: the plan the chooser resolved plus
+  /// whether/why it switched (kAuto; static plans record themselves too).
+  std::vector<PlanDecisionRecord> plan_decisions;
   /// Cumulative plan profile over all supersteps (profiling on): operators
   /// merged by name, so an adaptive job shows both compute variants.
   std::shared_ptr<const PlanProfile> plan_profile;

@@ -13,6 +13,7 @@ std::string GlobalState::Encode() const {
   PutFixed64(&out, static_cast<uint64_t>(num_edges));
   PutFixed64(&out, static_cast<uint64_t>(live_vertices));
   PutFixed64(&out, static_cast<uint64_t>(messages));
+  PutFixed64(&out, static_cast<uint64_t>(message_bytes));
   return out;
 }
 
@@ -28,11 +29,12 @@ Status GlobalState::Decode(const Slice& bytes) {
     return Status::Corruption("GS aggregate truncated");
   }
   aggregate = agg.ToString();
-  if (in.size() < 32) return Status::Corruption("GS stats truncated");
+  if (in.size() < 40) return Status::Corruption("GS stats truncated");
   num_vertices = static_cast<int64_t>(DecodeFixed64(in.data()));
   num_edges = static_cast<int64_t>(DecodeFixed64(in.data() + 8));
   live_vertices = static_cast<int64_t>(DecodeFixed64(in.data() + 16));
   messages = static_cast<int64_t>(DecodeFixed64(in.data() + 24));
+  message_bytes = static_cast<int64_t>(DecodeFixed64(in.data() + 32));
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
 #include "pregel/job_config.h"
+#include "pregel/plan_optimizer.h"
 #include "pregel/program.h"
 #include "storage/index.h"
 #include "storage/btree.h"
@@ -30,6 +31,10 @@ struct GlobalState {
   int64_t num_edges = 0;
   int64_t live_vertices = 0;
   int64_t messages = 0;  ///< combined messages produced by `superstep`
+  /// Combined message payload volume produced by `superstep` — the plan
+  /// chooser's message-dominance signal (a sparse frontier with heavy
+  /// fanout must not pick the probe join).
+  int64_t message_bytes = 0;
 
   std::string Encode() const;
   Status Decode(const Slice& bytes);
@@ -52,6 +57,7 @@ struct PartitionState {
   // barrier:
   std::string next_msg_path;
   uint64_t next_msg_count = 0;
+  uint64_t next_msg_bytes = 0;
   std::unique_ptr<BTree> next_vid_index;
   std::string next_vid_extra_path;
 
@@ -84,10 +90,23 @@ struct JobRuntimeContext {
   GlobalState gs;
   /// Superstep currently executing (gs.superstep + 1).
   int64_t current_superstep = 1;
-  /// Join strategy in effect for the current superstep. Equals the job hint
-  /// except under JoinStrategy::kAdaptive, where the plan generator resolves
-  /// it per superstep from the statistics collector.
+  /// Plan knobs in effect for the current superstep. Equal the job hints
+  /// except under kAdaptive/kAuto, where ResolvePlanDecision resolves them
+  /// per superstep (legacy heuristic / PlanOptimizer).
   JoinStrategy current_join = JoinStrategy::kFullOuter;
+  GroupByStrategy current_groupby = GroupByStrategy::kSort;
+  GroupByConnector current_connector = GroupByConnector::kUnmerged;
+  /// Resolved once at job admission (before load); never kAuto.
+  VertexStorage current_storage = VertexStorage::kBTree;
+
+  /// Feedback-driven chooser for kAuto knobs; null for static/kAdaptive
+  /// jobs. Owned here so operator lambdas and the driver share one
+  /// instance whose lifetime matches the job context.
+  std::shared_ptr<PlanOptimizer> optimizer;
+  /// Plan the previous superstep ran under (driver path), for switch
+  /// detection by ResolveAndPublishPlan.
+  PlanDecision prev_plan;
+  bool has_prev_plan = false;
 
   /// True when the Vid live-vertex index must be maintained (any job that
   /// may run a left outer join superstep).

@@ -196,6 +196,10 @@ class TypedVertexProgram {
   /// Result formatting: the text after the vid on each output line.
   virtual std::string FormatValue(int64_t vid, const V& value) const = 0;
 
+  /// Declares that Compute may call AddVertex/RemoveVertex (storage
+  /// admission hint, see PregelProgram::MutatesGraph).
+  virtual bool mutates_graph() const { return false; }
+
   /// Custom mutation conflict resolution; default = deletes first, last
   /// insert wins.
   virtual bool has_custom_resolve() const { return false; }
@@ -368,6 +372,8 @@ class TypedProgramAdapter : public PregelProgram {
     *line = std::to_string(vid) + " " + program_->FormatValue(vid, value);
     return Status::OK();
   }
+
+  bool MutatesGraph() const override { return program_->mutates_graph(); }
 
  private:
   Program* program_;

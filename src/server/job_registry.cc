@@ -71,6 +71,11 @@ void WriteSummaryFields(std::ostream& os, const JobStatus& j) {
      << ",\"checkpoint_superstep\":" << j.checkpoint_superstep
      << ",\"recoveries\":" << j.recoveries << ",\"stalls\":" << j.stalls
      << ",\"last_stalled_superstep\":" << j.last_stalled_superstep;
+  if (!j.plan.empty()) {
+    os << ",\"plan\":\"";
+    AppendJsonEscaped(os, j.plan);
+    os << "\",\"plan_switches\":" << j.plan_switches;
+  }
   if (!j.error.empty()) {
     os << ",\"error\":\"";
     AppendJsonEscaped(os, j.error);
@@ -183,6 +188,15 @@ void JobStatusRegistry::OnStall(const std::string& job_id, int64_t superstep) {
   j->last_stalled_superstep = std::max(j->last_stalled_superstep, superstep);
 }
 
+void JobStatusRegistry::OnPlanDecision(const std::string& job_id,
+                                       const std::string& plan,
+                                       int switches) {
+  MutexLock lock(&mutex_);
+  JobStatus* j = GetOrCreateLocked(job_id);
+  j->plan = plan;
+  j->plan_switches += switches;
+}
+
 void JobStatusRegistry::OnJobFinish(const std::string& job_id, bool ok,
                                     const std::string& error) {
   MutexLock lock(&mutex_);
@@ -256,8 +270,13 @@ bool JobStatusRegistry::WriteJobJson(const std::string& job_id,
        << ",\"messages\":" << b.messages
        << ",\"bytes_shuffled\":" << b.bytes_shuffled
        << ",\"spills\":" << b.spill_count
-       << ",\"left_outer_join\":" << (b.left_outer_join ? "true" : "false")
-       << "}";
+       << ",\"left_outer_join\":" << (b.left_outer_join ? "true" : "false");
+    if (!b.plan.empty()) {
+      os << ",\"plan\":\"";
+      AppendJsonEscaped(os, b.plan);
+      os << "\"";
+    }
+    os << "}";
   }
   os << "]";
   if (!j.profile_json.empty()) {

@@ -40,6 +40,9 @@ struct SuperstepBrief {
   uint64_t bytes_shuffled = 0;
   uint64_t spill_count = 0;
   bool left_outer_join = false;
+  /// Resolved physical plan ("join/groupby/connector"); empty for briefs
+  /// published by pre-plan phases (load).
+  std::string plan;
 };
 
 enum class JobState { kRunning, kFinished, kFailed };
@@ -66,6 +69,10 @@ struct JobStatus {
   int recoveries = 0;
   int64_t stalls = 0;
   int64_t last_stalled_superstep = -1;
+  /// Latest resolved physical plan ("join/groupby/connector") and the
+  /// cumulative count of plan-knob switches the chooser has made.
+  std::string plan;
+  int64_t plan_switches = 0;
   std::string error;  ///< non-empty iff state == kFailed
 
   std::deque<SuperstepBrief> recent;  ///< newest last, bounded window
@@ -95,6 +102,11 @@ class JobStatusRegistry {
   void OnCheckpoint(const std::string& job_id, int64_t superstep);
   void OnRecovery(const std::string& job_id, int64_t checkpoint_superstep);
   void OnStall(const std::string& job_id, int64_t superstep);
+  /// Published by the driver each superstep after plan resolution; `plan`
+  /// is the "join/groupby/connector" string, `switches` how many knobs
+  /// changed vs the previous superstep.
+  void OnPlanDecision(const std::string& job_id, const std::string& plan,
+                      int switches);
   void OnJobFinish(const std::string& job_id, bool ok,
                    const std::string& error);
 

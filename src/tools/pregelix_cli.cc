@@ -77,10 +77,13 @@ commands:
       --input=DIR [--output=DIR]
       --workers=N               simulated worker machines (default 4)
       --worker-ram-mb=M         simulated RAM per worker (default 16)
-      --join=fullouter|leftouter|adaptive   (default fullouter)
-      --groupby=sort|hashsort               (default sort)
-      --connector=unmerged|merged           (default unmerged)
-      --storage=btree|lsm                   (default btree)
+      --join=fullouter|leftouter|adaptive|auto   (default fullouter)
+      --groupby=sort|hashsort|auto               (default sort)
+      --connector=unmerged|merged|auto           (default unmerged)
+      --storage=btree|lsm|auto                   (default btree)
+                                `auto` lets the feedback-driven plan
+                                optimizer re-choose per superstep (storage:
+                                once at admission)
       --source=ID               source vertex (sssp/reachability/bfs-tree)
       --iterations=K            PageRank iterations (default 10)
       --checkpoint-interval=K   checkpoint every K supersteps (default off)
@@ -151,18 +154,38 @@ Status PrintExplain(const Flags& flags, const JobResult& result) {
   }
 
   printf("\n== per-superstep rollup ==\n");
-  printf("%-10s %-5s %-10s %-10s %-10s %-14s %-9s %-7s\n", "superstep",
-         "join", "wall-ms", "live", "messages", "shuffled-bytes", "cache-hit",
-         "spills");
+  printf("%-10s %-5s %-9s %-9s %-10s %-10s %-10s %-14s %-9s %-7s\n",
+         "superstep", "join", "groupby", "connector", "wall-ms", "live",
+         "messages", "shuffled-bytes", "cache-hit", "spills");
   for (const SuperstepStats& s : result.superstep_stats) {
-    printf("%-10lld %-5s %-10.3f %-10lld %-10lld %-14llu %-9.1f %-7llu\n",
-           static_cast<long long>(s.superstep),
-           s.used_left_outer_join ? "LOJ" : "FOJ", s.wall_seconds * 1e3,
-           static_cast<long long>(s.live_vertices),
-           static_cast<long long>(s.messages),
-           static_cast<unsigned long long>(s.bytes_shuffled),
-           s.cache_hit_ratio * 100.0,
-           static_cast<unsigned long long>(s.spill_count));
+    printf(
+        "%-10lld %-5s %-9s %-9s %-10.3f %-10lld %-10lld %-14llu %-9.1f "
+        "%-7llu\n",
+        static_cast<long long>(s.superstep),
+        s.used_left_outer_join ? "LOJ" : "FOJ",
+        GroupByStrategyName(s.groupby_used),
+        GroupByConnectorName(s.connector_used), s.wall_seconds * 1e3,
+        static_cast<long long>(s.live_vertices),
+        static_cast<long long>(s.messages),
+        static_cast<unsigned long long>(s.bytes_shuffled),
+        s.cache_hit_ratio * 100.0,
+        static_cast<unsigned long long>(s.spill_count));
+  }
+
+  // The optimizer's trail: one line per superstep whose plan differed from
+  // the previous one (the decision journal `plan.switch` mirrors this).
+  int64_t switches = 0;
+  for (const PlanDecisionRecord& r : result.plan_decisions) {
+    if (!r.switched.empty()) ++switches;
+  }
+  printf("\n== plan decisions (%zu supersteps, %lld switches) ==\n",
+         result.plan_decisions.size(), static_cast<long long>(switches));
+  for (const PlanDecisionRecord& r : result.plan_decisions) {
+    if (r.switched.empty()) continue;
+    printf("superstep %-4lld -> %-26s switched=%s reason=%s%s\n",
+           static_cast<long long>(r.superstep),
+           PlanDecisionString(r.plan).c_str(), r.switched.c_str(),
+           r.reason.c_str(), r.reactive ? " (reactive)" : "");
   }
 
   const std::string json_path = flags.Get("profile-json");
@@ -252,16 +275,20 @@ Status RunCommand(const Flags& flags, bool explain) {
   const std::string join = flags.Get("join", "fullouter");
   job.join = join == "leftouter" ? JoinStrategy::kLeftOuter
              : join == "adaptive" ? JoinStrategy::kAdaptive
+             : join == "auto"     ? JoinStrategy::kAuto
                                   : JoinStrategy::kFullOuter;
-  job.groupby = flags.Get("groupby", "sort") == "hashsort"
-                    ? GroupByStrategy::kHashSort
-                    : GroupByStrategy::kSort;
-  job.groupby_connector = flags.Get("connector", "unmerged") == "merged"
-                              ? GroupByConnector::kMerged
-                              : GroupByConnector::kUnmerged;
-  job.storage = flags.Get("storage", "btree") == "lsm"
-                    ? VertexStorage::kLsmBTree
-                    : VertexStorage::kBTree;
+  const std::string groupby = flags.Get("groupby", "sort");
+  job.groupby = groupby == "hashsort" ? GroupByStrategy::kHashSort
+                : groupby == "auto"   ? GroupByStrategy::kAuto
+                                      : GroupByStrategy::kSort;
+  const std::string connector = flags.Get("connector", "unmerged");
+  job.groupby_connector = connector == "merged" ? GroupByConnector::kMerged
+                          : connector == "auto" ? GroupByConnector::kAuto
+                                                : GroupByConnector::kUnmerged;
+  const std::string storage = flags.Get("storage", "btree");
+  job.storage = storage == "lsm"    ? VertexStorage::kLsmBTree
+                : storage == "auto" ? VertexStorage::kAuto
+                                    : VertexStorage::kBTree;
 
   const std::string algorithm = flags.Get("algorithm");
   const int64_t source = flags.GetInt("source", 0);

@@ -21,6 +21,7 @@
 #include "graph/generator.h"
 #include "graph/ref_algos.h"
 #include "graph/text_io.h"
+#include "pregel/plan_optimizer.h"
 #include "pregel/runtime.h"
 
 namespace pregelix {
@@ -176,6 +177,86 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(GroupByStrategy::kSort, GroupByStrategy::kHashSort),
         ::testing::Values(GroupByConnector::kUnmerged,
                           GroupByConnector::kMerged),
+        ::testing::Values(VertexStorage::kBTree, VertexStorage::kLsmBTree)));
+
+// The adaptive arm: the legacy per-superstep heuristic and the
+// feedback-driven optimizer must land on the same answers as the static
+// plans they switch between, whatever trajectory they take.
+INSTANTIATE_TEST_SUITE_P(
+    AdaptivePlans, DifferentialSweepTest,
+    ::testing::Combine(
+        ::testing::Values(JoinStrategy::kAdaptive, JoinStrategy::kAuto),
+        ::testing::Values(GroupByStrategy::kAuto),
+        ::testing::Values(GroupByConnector::kAuto),
+        ::testing::Values(VertexStorage::kBTree, VertexStorage::kAuto)));
+
+/// Clears the plan-decision override even when an assertion bails out.
+struct ScopedPlanOverride {
+  explicit ScopedPlanOverride(PlanDecisionOverride fn) {
+    SetPlanDecisionOverrideForTesting(std::move(fn));
+  }
+  ~ScopedPlanOverride() { SetPlanDecisionOverrideForTesting(nullptr); }
+};
+
+/// Adversarial schedule: every switchable knob flips on every superstep —
+/// the worst case the hysteresis normally forbids. The runtime must carry
+/// Msg/Vertex/Vid state across arbitrary plan boundaries, so the answers
+/// must still match the references exactly.
+class AdversarialFlipTest : public DifferentialSweepTest {};
+
+TEST_P(AdversarialFlipTest, EverySuperstepPlanFlipMatchesReferences) {
+  ScopedPlanOverride guard([](int64_t superstep, PlanDecision* d) {
+    const bool odd = superstep % 2 != 0;
+    d->join = odd ? JoinStrategy::kFullOuter : JoinStrategy::kLeftOuter;
+    d->groupby = odd ? GroupByStrategy::kSort : GroupByStrategy::kHashSort;
+    d->connector =
+        odd ? GroupByConnector::kUnmerged : GroupByConnector::kMerged;
+    return true;
+  });
+
+  SsspProgram sssp(0);
+  SsspProgram::Adapter sssp_adapter(&sssp);
+  std::map<int64_t, std::string> sssp_out;
+  ASSERT_NO_FATAL_FAILURE(
+      RunAndParse(&sssp_adapter, "sssp-flip", "btc", &sssp_out));
+  ASSERT_EQ(sssp_out.size(), sssp_ref_->size());
+  for (const auto& [vid, value] : sssp_out) {
+    if ((*sssp_ref_)[vid] < 0) {
+      EXPECT_EQ(value, "inf") << "vid " << vid;
+    } else {
+      EXPECT_NEAR(std::stod(value), (*sssp_ref_)[vid], 1e-9) << "vid " << vid;
+    }
+  }
+
+  ConnectedComponentsProgram cc;
+  ConnectedComponentsProgram::Adapter cc_adapter(&cc);
+  std::map<int64_t, std::string> cc_out;
+  ASSERT_NO_FATAL_FAILURE(RunAndParse(&cc_adapter, "cc-flip", "btc", &cc_out));
+  ASSERT_EQ(cc_out.size(), cc_ref_->size());
+  for (const auto& [vid, value] : cc_out) {
+    EXPECT_EQ(std::stoll(value), (*cc_ref_)[vid]) << "vid " << vid;
+  }
+
+  PageRankProgram pagerank(5);
+  PageRankProgram::Adapter pr_adapter(&pagerank);
+  std::map<int64_t, std::string> pr_out;
+  ASSERT_NO_FATAL_FAILURE(
+      RunAndParse(&pr_adapter, "pagerank-flip", "web", &pr_out));
+  ASSERT_EQ(pr_out.size(), pagerank_ref_->size());
+  for (const auto& [vid, value] : pr_out) {
+    EXPECT_NEAR(std::stod(value), (*pagerank_ref_)[vid], 1e-9)
+        << "vid " << vid;
+  }
+}
+
+// The override only engages when an optimizer is installed, i.e. under
+// all-kAuto knobs; both storage engines get the adversarial treatment.
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialAllAuto, AdversarialFlipTest,
+    ::testing::Combine(
+        ::testing::Values(JoinStrategy::kAuto),
+        ::testing::Values(GroupByStrategy::kAuto),
+        ::testing::Values(GroupByConnector::kAuto),
         ::testing::Values(VertexStorage::kBTree, VertexStorage::kLsmBTree)));
 
 }  // namespace

@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "common/event_journal.h"
 #include "common/temp_dir.h"
 #include "io/file.h"
+#include "pregel/plan_optimizer.h"
+#include "pregel/state.h"
 
 namespace pregelix {
 namespace {
@@ -193,6 +196,63 @@ TEST_F(FaultInjectionTest, RenameFileFaultPoint) {
   FaultInjector::Global().Reset();
   EXPECT_TRUE(RenameFile(from, to).ok());
   EXPECT_TRUE(FileExists(to));
+}
+
+TEST_F(FaultInjectionTest, PlanSwitchBoundaryIsAFaultPoint) {
+  // `pregel.plan.switch` fires when (and only when) the resolved plan
+  // differs from the previous superstep's, and it fires BEFORE the switch
+  // is journaled or published — a crashed switch must leave no trace.
+  struct OverrideGuard {
+    ~OverrideGuard() { SetPlanDecisionOverrideForTesting(nullptr); }
+  } guard;
+  SetPlanDecisionOverrideForTesting([](int64_t superstep, PlanDecision* d) {
+    d->join = superstep >= 2 ? JoinStrategy::kLeftOuter
+                             : JoinStrategy::kFullOuter;
+    return true;
+  });
+
+  PregelixJobConfig cfg;
+  cfg.name = "plan-switch-fault";
+  cfg.join = JoinStrategy::kAuto;
+  cfg.groupby = GroupByStrategy::kAuto;
+  cfg.groupby_connector = GroupByConnector::kAuto;
+  JobRuntimeContext ctx;
+  ctx.job_config = &cfg;
+  ctx.job_id = "plan-switch-fault";
+  ctx.optimizer = std::make_shared<PlanOptimizer>();
+
+  FaultSpec spec;
+  spec.action = Action::kCrash;
+  FaultInjector::Global().Arm("pregel.plan.switch", spec);
+
+  // Superstep 1 has no previous plan: nothing switches, the armed point
+  // stays quiet.
+  PlanDecisionRecord record;
+  ctx.current_superstep = 1;
+  EXPECT_TRUE(ResolveAndPublishPlan(&ctx, nullptr, &record).ok());
+  EXPECT_TRUE(record.switched.empty());
+  EXPECT_EQ(FaultInjector::Global().Stats("pregel.plan.switch").fires, 0u);
+
+  // Superstep 2 flips the join: the boundary crashes, and the aborted
+  // switch is never journaled.
+  const uint64_t since = EventJournal::Global().last_seq();
+  ctx.current_superstep = 2;
+  Status s = ResolveAndPublishPlan(&ctx, nullptr, &record);
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  EXPECT_TRUE(fault::IsSimulatedCrash(s));
+  for (const JournalEvent& e : EventJournal::Global().SnapshotSince(since)) {
+    EXPECT_NE(e.category, "plan.switch") << "crashed switch was journaled";
+  }
+
+  // Disarmed, the retried (memoized) decision publishes the same switch.
+  FaultInjector::Global().Reset();
+  EXPECT_TRUE(ResolveAndPublishPlan(&ctx, nullptr, &record).ok());
+  EXPECT_EQ(record.switched, "join");
+  bool journaled = false;
+  for (const JournalEvent& e : EventJournal::Global().SnapshotSince(since)) {
+    journaled = journaled || e.category == "plan.switch";
+  }
+  EXPECT_TRUE(journaled);
 }
 
 TEST_F(FaultInjectionTest, RearmResetsCounters) {

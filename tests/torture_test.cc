@@ -28,6 +28,7 @@
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
 #include "graph/generator.h"
+#include "graph/text_io.h"
 #include "pregel/runtime.h"
 
 namespace pregelix {
@@ -68,6 +69,24 @@ class TortureTest : public ::testing::Test {
     FaultInjector::Global().Reset();
     GraphStats stats;
     EXPECT_TRUE(GenerateBtcLike(dfs_, "input", 3, 400, 6.0, 21, &stats).ok());
+    // Lollipop graph for the plan-switch schedules: a star head plus a long
+    // path tail. SSSP from vertex 0 settles the head in two supersteps and
+    // then walks the tail one vertex per superstep — a guaranteed sparse
+    // frontier, so the kAuto join deterministically flips to left-outer.
+    InMemoryGraph lollipop;
+    constexpr int64_t kHead = 100, kTail = 30;
+    lollipop.adj.resize(kHead + kTail);
+    for (int64_t v = 1; v < kHead; ++v) {
+      lollipop.adj[0].push_back(v);
+      lollipop.adj[v].push_back(0);
+    }
+    for (int64_t i = 0; i < kTail; ++i) {
+      const int64_t v = kHead + i;
+      const int64_t prev = i == 0 ? kHead - 1 : v - 1;
+      lollipop.adj[prev].push_back(v);
+      lollipop.adj[v].push_back(prev);
+    }
+    EXPECT_TRUE(WriteGraph(dfs_, "lollipop", lollipop, 3).ok());
   }
   ~TortureTest() override { FaultInjector::Global().Reset(); }
 
@@ -211,16 +230,95 @@ TEST_F(TortureTest, SsspSurvivesTwelveRandomizedCrashSchedules) {
   EXPECT_GE(crashes_fired_, 8) << "too few schedules crashed mid-run";
 }
 
+// Crash schedules against the feedback-driven chooser: the recovered
+// process rebuilds its optimizer from scratch, so the post-resume plan
+// trajectory may differ from the undisturbed run — the output must not.
+// SSSP's min-combiner makes its bytes plan-independent, so the all-kAuto
+// baseline comparison stays byte-exact whatever the chooser does.
+TEST_F(TortureTest, SsspAutoPlanSurvivesRandomizedCrashSchedules) {
+  const Plan auto_plan = {JoinStrategy::kAuto, GroupByStrategy::kAuto,
+                          GroupByConnector::kAuto, VertexStorage::kAuto};
+  for (uint64_t seed = 51; seed <= 56; ++seed) {
+    ASSERT_NO_FATAL_FAILURE(
+        RunSchedule(seed, /*pagerank=*/false, auto_plan));
+  }
+  EXPECT_GE(crashes_fired_, 4) << "too few schedules crashed mid-run";
+}
+
+// The targeted schedule of the ISSUE: crash exactly at the plan-switch
+// boundary (the `pregel.plan.switch` fault point fires on the first
+// superstep whose plan differs from the last). Recovery restarts from the
+// latest checkpoint with a fresh optimizer and must still produce bytes
+// identical to the undisturbed kAuto run.
+TEST_F(TortureTest, CrashAtThePlanSwitchBoundaryRecoversByteIdentically) {
+  const Plan auto_plan = {JoinStrategy::kAuto, GroupByStrategy::kAuto,
+                          GroupByConnector::kAuto, VertexStorage::kBTree};
+
+  PregelixJobConfig base;
+  base.name = "switch-baseline";
+  base.input_dir = "lollipop";
+  base.output_dir = "out-switch-baseline";
+  JobResult base_result;
+  ASSERT_TRUE(RunOnce(/*pagerank=*/false, auto_plan, base, &base_result).ok());
+  // The schedule is only meaningful if the undisturbed run switches plans.
+  bool switched = false;
+  for (const PlanDecisionRecord& r : base_result.plan_decisions) {
+    switched = switched || !r.switched.empty();
+  }
+  ASSERT_TRUE(switched)
+      << "kAuto never switched plans on the lollipop graph; the crash "
+         "below would never fire";
+  const std::map<std::string, std::string> baseline =
+      ReadOutput(base.output_dir);
+  ASSERT_FALSE(baseline.empty());
+
+  PregelixJobConfig job;
+  job.name = "switch-crash";
+  job.job_id = "switch-crash";
+  job.input_dir = "lollipop";
+  job.output_dir = "out-switch-crash";
+  job.checkpoint_interval = 2;
+  FaultSpec spec;
+  spec.action = Action::kCrash;  // unscoped: fires at the first switch
+  FaultInjector::Global().Arm("pregel.plan.switch", spec);
+  JobResult result;
+  Status s = RunOnce(/*pagerank=*/false, auto_plan, job, &result);
+  const auto stats = FaultInjector::Global().Stats("pregel.plan.switch");
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(s.IsAborted()) << s.ToString();
+  ASSERT_GE(stats.fires, 1u);
+
+  job.resume = true;
+  s = RunOnce(/*pagerank=*/false, auto_plan, job, &result);
+  ASSERT_TRUE(s.ok()) << "resume across the plan switch failed: "
+                      << s.ToString();
+
+  const std::map<std::string, std::string> got = ReadOutput(job.output_dir);
+  ASSERT_EQ(got.size(), baseline.size());
+  for (const auto& [name, bytes] : baseline) {
+    auto found = got.find(name);
+    ASSERT_TRUE(found != got.end()) << "missing output file " << name;
+    EXPECT_TRUE(found->second == bytes)
+        << "output file " << name << " differs from the undisturbed run ("
+        << found->second.size() << " vs " << bytes.size() << " bytes)";
+  }
+}
+
 TEST_F(TortureTest, PageRankSurvivesEightRandomizedCrashSchedules) {
+  // The kAuto arm pins the connector merged: PageRank sums floats, and only
+  // the merging connector's tie-break makes the fold order reproducible
+  // (the chooser is free to pick join and group-by).
   const Plan plans[] = {
       {JoinStrategy::kFullOuter, GroupByStrategy::kSort,
        GroupByConnector::kMerged, VertexStorage::kBTree},
       {JoinStrategy::kFullOuter, GroupByStrategy::kHashSort,
        GroupByConnector::kMerged, VertexStorage::kLsmBTree},
+      {JoinStrategy::kAuto, GroupByStrategy::kAuto,
+       GroupByConnector::kMerged, VertexStorage::kAuto},
   };
   for (uint64_t seed = 101; seed <= 108; ++seed) {
     ASSERT_NO_FATAL_FAILURE(
-        RunSchedule(seed, /*pagerank=*/true, plans[(seed - 101) % 2]));
+        RunSchedule(seed, /*pagerank=*/true, plans[(seed - 101) % 3]));
   }
   EXPECT_GE(crashes_fired_, 5) << "too few schedules crashed mid-run";
 }

@@ -9,17 +9,27 @@
 # smoke-tests the observability server: `pregelix serve` on an ephemeral
 # port, then /healthz and /metrics must answer 200 (DESIGN.md §15).
 #
-# usage: bench_smoke.sh <bench_micro_dataflow binary> <output json> [pregelix]
+# With a fourth and fifth argument — the bench_adaptive binary and its JSON
+# output path — it also runs the adaptive-plan bench in FAST mode (small
+# graphs, same deterministic cost model) and validates the artifact: every
+# experiment carries a finite adaptive/best-static ratio, and SSSP and
+# PageRank stay within the acceptance bar (DESIGN.md §17).
+#
+# usage: bench_smoke.sh <bench_micro_dataflow binary> <output json> \
+#            [pregelix-cli] [bench_adaptive binary] [adaptive json]
 
 set -u
 
-if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
-  echo "usage: $0 <bench-binary> <out.json> [pregelix-cli]" >&2
+if [ "$#" -lt 2 ] || [ "$#" -gt 5 ]; then
+  echo "usage: $0 <bench-binary> <out.json> [pregelix-cli]" \
+       "[bench-adaptive] [adaptive.json]" >&2
   exit 2
 fi
 BIN="$1"
 OUT="$2"
 CLI="${3:-}"
+ADAPTIVE_BIN="${4:-}"
+ADAPTIVE_OUT="${5:-}"
 
 # A tiny min_time runs each benchmark for a single iteration batch. (The
 # pinned google-benchmark predates the `--benchmark_min_time=1x` syntax.)
@@ -41,6 +51,42 @@ for b in benches:
         sys.exit(f"bench_smoke: malformed benchmark entry: {b}")
 print(f"bench_smoke: OK ({len(benches)} benchmarks, valid JSON)")
 EOF
+
+# --- Optional: adaptive-plan bench smoke -------------------------------------
+if [ -n "$ADAPTIVE_BIN" ] && [ -n "$ADAPTIVE_OUT" ]; then
+  PREGELIX_BENCH_ADAPTIVE_FAST=1 "$ADAPTIVE_BIN" "$ADAPTIVE_OUT" \
+      > /dev/null || {
+    echo "bench_smoke: $ADAPTIVE_BIN failed" >&2
+    exit 1
+  }
+  python3 - "$ADAPTIVE_OUT" <<'EOF' || exit 1
+import json, math, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+experiments = doc.get("experiments", [])
+if not experiments:
+    sys.exit("bench_smoke: no experiments in adaptive JSON")
+algos = set()
+for e in experiments:
+    for key in ("algorithm", "static_sim_seconds", "adaptive_sim_seconds",
+                "best_static_sim_seconds", "ratio_adaptive_vs_best"):
+        if key not in e:
+            sys.exit(f"bench_smoke: adaptive entry missing '{key}': {e}")
+    ratio = e["ratio_adaptive_vs_best"]
+    if not math.isfinite(ratio) or ratio <= 0:
+        sys.exit(f"bench_smoke: bad adaptive ratio {ratio} in {e}")
+    # The acceptance bar bench_adaptive itself enforces for SSSP/PageRank.
+    if e["algorithm"] in ("sssp", "pagerank") and ratio > 1.05:
+        sys.exit(f"bench_smoke: {e['algorithm']} adaptive ratio {ratio} "
+                 "exceeds the 1.05 acceptance bar")
+    algos.add(e["algorithm"])
+for required in ("sssp", "pagerank"):
+    if required not in algos:
+        sys.exit(f"bench_smoke: adaptive JSON lacks a {required} experiment")
+print(f"bench_smoke: OK ({len(experiments)} adaptive experiments, "
+      "ratios within the acceptance bar)")
+EOF
+fi
 
 # --- Optional: observability-server smoke -----------------------------------
 if [ -z "$CLI" ]; then

@@ -42,6 +42,13 @@ TABLE_NAME = re.compile(r"`(pregelix[a-z0-9_.]*)`")
 EXCLUDED = {REPO / "src" / "common" / "metrics_registry.h",
             REPO / "src" / "common" / "metrics_registry.cc"}
 
+# Families that must stay live in src/. The two-way check above cannot
+# catch a family deleted from *both* code and table at once; these are
+# documented contracts (DESIGN.md §10/§17) other tooling scrapes.
+REQUIRED_FAMILIES = (
+    "pregelix.optimizer.",
+)
+
 
 def collect_src_names():
     """metric name -> list of file:line where it is registered."""
@@ -98,6 +105,12 @@ def main():
         errors.append(
             f"metric '{name}' is documented in DESIGN.md but never "
             f"registered in src/ or bench/")
+
+    for family in REQUIRED_FAMILIES:
+        if not any(name.startswith(family) for name in src_names):
+            errors.append(
+                f"required metric family '{family}*' has no registration "
+                f"in src/ or bench/")
 
     if errors:
         for e in errors:
