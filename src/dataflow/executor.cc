@@ -14,6 +14,7 @@
 #include "dataflow/channel.h"
 #include "dataflow/frame.h"
 #include "dataflow/operator.h"
+#include "dataflow/plan_verifier.h"
 
 namespace pregelix {
 
@@ -278,6 +279,19 @@ struct ConnectorChannels {
 Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
               void* runtime_context, PlanProfile* profile) {
   const ClusterConfig& config = cluster.config();
+
+  // --- Admission: static plan verification (DESIGN.md §18) ----------------
+  // Runs in every build before any channel or task exists; an invalid plan
+  // never starts executing. Pure analysis — zero cost on the tuple path.
+  {
+    const PlanVerifyResult verdict =
+        VerifyPlan(spec, PlanVerifyOptionsFrom(config));
+    CountVerification(cluster.registry(), verdict);
+    if (!verdict.ok()) {
+      return Status::InvalidArgument(verdict.Render(spec.name()));
+    }
+  }
+
   std::atomic<bool> abort{false};
   const auto job_start = std::chrono::steady_clock::now();
   if (profile != nullptr) {

@@ -9,10 +9,13 @@
 namespace pregelix {
 
 /// Executes a dataflow job on the simulated cluster and blocks until it
-/// finishes. Every (operator, partition) clone runs on its own thread, like
-/// Hyracks tasks; connectors move frames through FrameChannels. On the first
-/// task failure the job aborts: the shared abort flag unblocks all channel
-/// waits and the first error is returned.
+/// finishes. Admission first runs the static plan verifier
+/// (dataflow/plan_verifier.h) against the cluster's budgets: an invalid
+/// plan is rejected with InvalidArgument carrying the multi-line diagnostic
+/// and never starts executing. Every (operator, partition) clone then runs
+/// on its own thread, like Hyracks tasks; connectors move frames through
+/// FrameChannels. On the first task failure the job aborts: the shared
+/// abort flag unblocks all channel waits and the first error is returned.
 ///
 /// `runtime_context` is passed through to every TaskContext (the per-job
 /// state hook used by the Pregelix layer).

@@ -81,7 +81,7 @@ bool FrameTupleAppender::Append(std::span<const Slice> fields) {
   }
   char* data = out + 4u * field_count_;
   for (const Slice& f : fields) {
-    memcpy(data, f.data(), f.size());
+    if (!f.empty()) memcpy(data, f.data(), f.size());
     data += f.size();
   }
   data_end_ += tuple_size;
@@ -92,7 +92,9 @@ bool FrameTupleAppender::Append(std::span<const Slice> fields) {
 
 bool FrameTupleAppender::AppendRaw(const Slice& tuple_bytes) {
   if (!EnsureRoom(tuple_bytes.size())) return false;
-  memcpy(buffer_.data() + data_end_, tuple_bytes.data(), tuple_bytes.size());
+  if (!tuple_bytes.empty()) {
+    memcpy(buffer_.data() + data_end_, tuple_bytes.data(), tuple_bytes.size());
+  }
   data_end_ += tuple_bytes.size();
   slots_.push_back(static_cast<uint32_t>(data_end_));
   ++count_;

@@ -39,7 +39,25 @@ struct ConnectorSpec {
   Policy policy = Policy::kDefault;
   /// Custom route function `(key bytes, n) -> partition`; default hash.
   std::function<uint32_t(const Slice&, uint32_t)> partitioner;
+  /// Declaration that a custom `partitioner` routes on exactly the raw
+  /// bytes of `key_field` (every pair of equal keys lands on the same
+  /// partition). Required by the verifier on kMToNPartitionMerge edges,
+  /// where routing and merge order must agree on key identity; meaningless
+  /// without a custom partitioner.
+  bool partitioner_routes_on_key = false;
+  /// Verifier escape hatch: acknowledge an explicitly pipelined merging
+  /// connector (a deadlock hazard under backpressure — see Policy above) as
+  /// intentional. Only for tests/tools that guarantee channel capacity
+  /// exceeding the largest sender run.
+  bool unsafe_allow_pipelined_merge = false;
 
+  /// Routing and ordering deliberately agree on key identity: Route hashes
+  /// the *raw key bytes*, and the sort/merge path orders by those same raw
+  /// bytes (NormalizedKeyPrefix is just the first 8 bytes as a big-endian
+  /// word — a comparison *prefix*, with ties broken by full byte compare,
+  /// never a different key). So equal keys hash to one partition and
+  /// compare equal in the merge; a custom partitioner must preserve exactly
+  /// that (see partitioner_routes_on_key).
   uint32_t Route(const Slice& key, uint32_t n) const {
     if (partitioner) return partitioner(key, n);
     return static_cast<uint32_t>(Hash64(key) % n);
@@ -70,6 +88,11 @@ class JobSpec {
                    spec.src_op < static_cast<int>(ops_.size()));
     PREGELIX_CHECK(spec.dst_op >= 0 &&
                    spec.dst_op < static_cast<int>(ops_.size()));
+    PREGELIX_CHECK(spec.src_output >= 0 && spec.dst_input >= 0);
+    // The key must name a field the edge actually carries; the merging
+    // receiver and the hash router both index fields by it.
+    PREGELIX_CHECK(spec.key_field >= 0 &&
+                   spec.field_count >= spec.key_field + 1);
     connectors_.push_back(std::move(spec));
   }
 

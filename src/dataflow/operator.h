@@ -74,6 +74,59 @@ class Operator {
   virtual Status Run(TaskContext& ctx) = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Physical properties (static plan verification, DESIGN.md §18).
+//
+// Declared, not inferred: the plan generator states what each operator
+// output *provides* and each input *requires*; dataflow/plan_verifier.h
+// propagates the declarations topologically through the connector graph and
+// rejects plans whose requirements their inputs do not meet. An undeclared
+// stream provides nothing (unsorted, arbitrarily placed) — declarations are
+// obligations the operator's implementation must honor.
+
+/// Per-partition tuple-order guarantee of a stream.
+enum class Sortedness {
+  kUnsorted,     ///< no order guarantee
+  kSortedByKey,  ///< non-decreasing raw-byte order on the edge's key field
+};
+
+/// How a stream's tuples are placed across partitions.
+enum class Partitioning {
+  kArbitrary,  ///< no placement guarantee
+  kHashByKey,  ///< equal keys share a partition (hash of the raw key bytes)
+  kSingleton,  ///< the whole stream lives on a single partition
+};
+
+struct StreamProperties {
+  Sortedness sorted = Sortedness::kUnsorted;
+  Partitioning partitioned = Partitioning::kArbitrary;
+};
+
+/// Static shape + property declarations of one logical operator. Port counts
+/// of -1 leave the count unconstrained (operators predating the verifier);
+/// missing `outputs`/`inputs` entries default to "provides nothing" /
+/// "requires nothing".
+struct OperatorSignature {
+  int num_inputs = -1;
+  int num_outputs = -1;
+  /// outputs[i]: what output port i provides.
+  std::vector<StreamProperties> outputs;
+  /// inputs[i]: what input port i requires of its delivered stream.
+  std::vector<StreamProperties> inputs;
+  /// Peak per-clone working memory the operator plans to pin (bytes; 0 =
+  /// negligible). Input to the verifier's budget-feasibility rule.
+  size_t memory_bytes = 0;
+
+  StreamProperties output(int i) const {
+    return i >= 0 && i < static_cast<int>(outputs.size()) ? outputs[i]
+                                                          : StreamProperties{};
+  }
+  StreamProperties input(int i) const {
+    return i >= 0 && i < static_cast<int>(inputs.size()) ? inputs[i]
+                                                         : StreamProperties{};
+  }
+};
+
 /// Factory for operator clones; one descriptor per logical operator in a
 /// job specification.
 class OperatorDescriptor {
@@ -81,6 +134,8 @@ class OperatorDescriptor {
   virtual ~OperatorDescriptor() = default;
   virtual std::string name() const = 0;
   virtual std::unique_ptr<Operator> Create(int partition) = 0;
+  /// Declared shape and physical properties; the default declares nothing.
+  virtual OperatorSignature signature() const { return {}; }
 };
 
 /// Descriptor wrapping a plain function; the workhorse for plan generation.
@@ -92,6 +147,35 @@ class LambdaOperatorDescriptor : public OperatorDescriptor {
       : name_(std::move(name)), fn_(std::move(fn)) {}
 
   std::string name() const override { return name_; }
+  OperatorSignature signature() const override { return signature_; }
+
+  /// Fluent property declarations (used by the plan builders; see
+  /// dataflow/plan_verifier.h).
+  LambdaOperatorDescriptor* DeclarePorts(int num_inputs, int num_outputs) {
+    signature_.num_inputs = num_inputs;
+    signature_.num_outputs = num_outputs;
+    if (num_outputs >= 0) signature_.outputs.resize(num_outputs);
+    if (num_inputs >= 0) signature_.inputs.resize(num_inputs);
+    return this;
+  }
+  LambdaOperatorDescriptor* DeclareOutput(int port, StreamProperties provides) {
+    if (port >= static_cast<int>(signature_.outputs.size())) {
+      signature_.outputs.resize(port + 1);
+    }
+    signature_.outputs[port] = provides;
+    return this;
+  }
+  LambdaOperatorDescriptor* DeclareInput(int port, StreamProperties required) {
+    if (port >= static_cast<int>(signature_.inputs.size())) {
+      signature_.inputs.resize(port + 1);
+    }
+    signature_.inputs[port] = required;
+    return this;
+  }
+  LambdaOperatorDescriptor* DeclareMemoryBytes(size_t bytes) {
+    signature_.memory_bytes = bytes;
+    return this;
+  }
 
   std::unique_ptr<Operator> Create(int partition) override {
     class FnOperator : public Operator {
@@ -108,6 +192,7 @@ class LambdaOperatorDescriptor : public OperatorDescriptor {
  private:
   std::string name_;
   Fn fn_;
+  OperatorSignature signature_;
 };
 
 /// Reads field `f` out of pre-encoded tuple bytes (the raw format described

@@ -7,6 +7,8 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "dataflow/plan_verifier.h"
+#include "pregel/plans.h"
 #include "pregel/state.h"
 #include "server/job_registry.h"
 
@@ -252,6 +254,12 @@ PlanDecision ResolvePlanDecision(JobRuntimeContext* ctx) {
       d.connector = chosen.connector;
     }
   }
+  // A verifier rejection pinned this superstep to the previous plan; the
+  // pin wins over any re-derived choice (the pin is inert for any other
+  // superstep, so no cleanup is needed when the driver advances).
+  if (ctx->plan_pinned && ctx->pinned_superstep == ctx->current_superstep) {
+    d = ctx->pinned_plan;
+  }
   ctx->current_join = d.join;
   ctx->current_groupby = d.groupby;
   ctx->current_connector = d.connector;
@@ -260,10 +268,69 @@ PlanDecision ResolvePlanDecision(JobRuntimeContext* ctx) {
 
 Status ResolveAndPublishPlan(JobRuntimeContext* ctx, MetricsRegistry* registry,
                              PlanDecisionRecord* record) {
-  const PlanDecision d = ResolvePlanDecision(ctx);
+  // A new superstep starts unpinned; a pin appears below only when the
+  // verifier rejects this superstep's candidate plan.
+  ctx->plan_pinned = false;
+  PlanDecision d = ResolvePlanDecision(ctx);
+
+  // --- Static verification gate (DESIGN.md §18) ---------------------------
+  // Every plan switch is verified before anything is published; debug
+  // builds verify every superstep. A rejected switch falls back to the
+  // previous superstep's plan (known-good: it already passed admission and
+  // ran), journals `plan.verify.reject`, and bumps pregelix.verifier.*.
+  const bool switching = ctx->has_prev_plan && d != ctx->prev_plan;
+#ifdef NDEBUG
+  const bool verify_now = switching;
+#else
+  const bool verify_now = true;
+#endif
+  std::string verify_reject_reason;
+  if (verify_now && ctx->cluster != nullptr) {
+    const JobSpec candidate = BuildSuperstepJob(ctx);
+    const PlanVerifyResult verdict =
+        VerifyPlan(candidate, PlanVerifyOptionsFrom(ctx->cluster->config()));
+    CountVerification(registry, verdict);
+    if (!verdict.ok()) {
+      if (!switching) {
+        // Nothing known-good to fall back to — reject the job with the
+        // full compiler-style diagnostic (RunJob admission would anyway).
+        return Status::InvalidArgument(verdict.Render(candidate.name()));
+      }
+      const PlanDecision rejected = d;
+      ctx->plan_pinned = true;
+      ctx->pinned_superstep = ctx->current_superstep;
+      ctx->pinned_plan = ctx->prev_plan;
+      d = ResolvePlanDecision(ctx);  // applies the pin to ctx->current_*
+      std::string rules;
+      for (const PlanViolation& v : verdict.violations) {
+        if (!rules.empty()) rules += ",";
+        rules += v.rule;
+      }
+      EventJournal::Global().Append(
+          "plan.verify.reject", ctx->job_id, ctx->current_superstep,
+          {{"rejected", PlanDecisionString(rejected)},
+           {"fallback", PlanDecisionString(d)},
+           {"rules", rules}});
+      if (registry != nullptr) {
+        registry
+            ->GetCounter("pregelix.verifier.rejects",
+                         {{"job", ctx->job_config->name}})
+            ->Increment();
+      }
+      PLOG(Warn) << "plan verifier rejected switch to "
+                 << PlanDecisionString(rejected) << " at superstep "
+                 << ctx->current_superstep << " (" << rules
+                 << "); keeping " << PlanDecisionString(d);
+      verify_reject_reason = "verify-reject:" + rules;
+    }
+  }
+
   record->superstep = ctx->current_superstep;
   record->plan = d;
-  if (ctx->optimizer != nullptr) {
+  if (!verify_reject_reason.empty()) {
+    record->reactive = false;
+    record->reason = verify_reject_reason;
+  } else if (ctx->optimizer != nullptr) {
     record->reactive = ctx->optimizer->last_reactive();
     record->reason = ctx->optimizer->last_reason();
   } else {

@@ -217,6 +217,12 @@ PlanDecision ResolvePlanDecision(JobRuntimeContext* ctx);
 /// `plan.switch` EventJournal event per switched knob, the
 /// `pregelix.optimizer.*` metrics, and the JobStatusRegistry publish. Fills
 /// `record` for JobResult::plan_decisions / `pregelix explain`.
+///
+/// Every plan switch passes the static verifier (dataflow/plan_verifier.h)
+/// before publication — debug builds verify every superstep. A rejected
+/// switch pins the previous superstep's plan (JobRuntimeContext::pinned_*),
+/// journals `plan.verify.reject`, bumps `pregelix.verifier.rejects`, and the
+/// superstep proceeds under the known-good plan.
 Status ResolveAndPublishPlan(JobRuntimeContext* ctx, MetricsRegistry* registry,
                              PlanDecisionRecord* record);
 

@@ -914,24 +914,38 @@ Status RunRecoveryOp(JobRuntimeContext* ctx, TaskContext& task,
 // ---------------------------------------------------------------------------
 // Plan builders
 
+namespace {
+SuperstepSpecTamper g_superstep_spec_tamper;
+}  // namespace
+
+void SetSuperstepSpecTamperForTesting(SuperstepSpecTamper fn) {
+  g_superstep_spec_tamper = std::move(fn);
+}
+
 std::string CheckpointDir(const JobRuntimeContext& ctx, int64_t superstep) {
   return "jobs/" + ctx.job_id + "/ckpt/" + std::to_string(superstep);
 }
 
 JobSpec BuildLoadJob(JobRuntimeContext* ctx) {
   const int partitions = ctx->cluster->num_partitions();
+  const size_t groupby_bytes = ctx->cluster->config().groupby_memory_bytes;
   JobSpec spec;
   spec.set_name(ctx->job_config->name + "-load");
-  const int scan = spec.AddOperator(
-      std::make_shared<LambdaOperatorDescriptor>(
-          "scan-input",
-          [ctx](TaskContext& task) { return RunScanOp(ctx, task); }),
-      partitions);
-  const int load = spec.AddOperator(
-      std::make_shared<LambdaOperatorDescriptor>(
-          "sort-bulkload",
-          [ctx](TaskContext& task) { return RunLoadOp(ctx, task); }),
-      partitions);
+  auto scan_op = std::make_shared<LambdaOperatorDescriptor>(
+      "scan-input",
+      [ctx](TaskContext& task) { return RunScanOp(ctx, task); });
+  scan_op->DeclarePorts(0, 1);  // output 0: input-file order, no properties
+  const int scan = spec.AddOperator(scan_op, partitions);
+  auto load_op = std::make_shared<LambdaOperatorDescriptor>(
+      "sort-bulkload",
+      [ctx](TaskContext& task) { return RunLoadOp(ctx, task); });
+  load_op
+      ->DeclarePorts(1, 0)
+      // The bulk loader sorts locally but each partition must already hold
+      // all of its keys.
+      ->DeclareInput(0, {Sortedness::kUnsorted, Partitioning::kHashByKey})
+      ->DeclareMemoryBytes(groupby_bytes);
+  const int load = spec.AddOperator(load_op, partitions);
   ConnectorSpec conn;
   conn.src_op = scan;
   conn.dst_op = load;
@@ -954,38 +968,58 @@ JobSpec BuildSuperstepJob(JobRuntimeContext* ctx) {
   // superstep, so direct callers may rebuild the job after tweaking stats.
   ResolvePlanDecision(ctx);
   const bool loj = ctx->current_join == JoinStrategy::kLeftOuter;
-  const int compute = spec.AddOperator(
-      std::make_shared<LambdaOperatorDescriptor>(
-          loj ? "compute-left-outer-join" : "compute-full-outer-join",
-          [ctx, loj](TaskContext& task) {
-            return loj ? RunComputeLeftOuter(ctx, task)
-                       : RunComputeFullOuter(ctx, task);
-          }),
-      partitions);
-  const int combine = spec.AddOperator(
-      std::make_shared<LambdaOperatorDescriptor>(
-          "combine-msgs",
-          [ctx](TaskContext& task) { return RunCombineOp(ctx, task); }),
-      partitions);
-  const int global = spec.AddOperator(
-      std::make_shared<LambdaOperatorDescriptor>(
-          "global-agg",
-          [ctx](TaskContext& task) { return RunGlobalAggOp(ctx, task); }),
-      1);
-  const int resolve = spec.AddOperator(
-      std::make_shared<LambdaOperatorDescriptor>(
-          "resolve",
-          [ctx](TaskContext& task) { return RunResolveOp(ctx, task); }),
-      partitions);
+  const bool merged = ctx->current_connector == GroupByConnector::kMerged;
+  const size_t groupby_bytes = ctx->cluster->config().groupby_memory_bytes;
+  auto compute_op = std::make_shared<LambdaOperatorDescriptor>(
+      loj ? "compute-left-outer-join" : "compute-full-outer-join",
+      [ctx, loj](TaskContext& task) {
+        return loj ? RunComputeLeftOuter(ctx, task)
+                   : RunComputeFullOuter(ctx, task);
+      });
+  compute_op
+      ->DeclarePorts(0, 3)
+      // Output 0: the send-side group-by emits combined messages in
+      // destination-key order (what the merging connector's receiver
+      // merges). Outputs 1 (GS contributions) and 2 (mutations) carry no
+      // properties.
+      ->DeclareOutput(0, {Sortedness::kSortedByKey, Partitioning::kArbitrary})
+      ->DeclareMemoryBytes(groupby_bytes);  // the "sendgb" grouper
+  const int compute = spec.AddOperator(compute_op, partitions);
+  auto combine_op = std::make_shared<LambdaOperatorDescriptor>(
+      "combine-msgs",
+      [ctx](TaskContext& task) { return RunCombineOp(ctx, task); });
+  combine_op
+      ->DeclarePorts(1, 0)
+      // Under the merged connector the receive side runs the preclustered
+      // grouper, which needs key-sorted arrival; either way the message
+      // stream must be partitioned like the vertices.
+      ->DeclareInput(0, {merged ? Sortedness::kSortedByKey
+                                : Sortedness::kUnsorted,
+                         Partitioning::kHashByKey})
+      ->DeclareMemoryBytes(groupby_bytes);  // the "recvgb" grouper
+  const int combine = spec.AddOperator(combine_op, partitions);
+  auto global_op = std::make_shared<LambdaOperatorDescriptor>(
+      "global-agg",
+      [ctx](TaskContext& task) { return RunGlobalAggOp(ctx, task); });
+  global_op->DeclarePorts(1, 0)->DeclareInput(
+      0, {Sortedness::kUnsorted, Partitioning::kSingleton});
+  const int global = spec.AddOperator(global_op, 1);
+  auto resolve_op = std::make_shared<LambdaOperatorDescriptor>(
+      "resolve",
+      [ctx](TaskContext& task) { return RunResolveOp(ctx, task); });
+  resolve_op
+      ->DeclarePorts(1, 0)
+      ->DeclareInput(0, {Sortedness::kUnsorted, Partitioning::kHashByKey})
+      ->DeclareMemoryBytes(groupby_bytes);  // the mutation sorter
+  const int resolve = spec.AddOperator(resolve_op, partitions);
 
   // D3/D7: messages, via the configured group-by connector.
   ConnectorSpec msgs;
   msgs.src_op = compute;
   msgs.src_output = 0;
   msgs.dst_op = combine;
-  msgs.kind = ctx->current_connector == GroupByConnector::kMerged
-                  ? ConnectorKind::kMToNPartitionMerge
-                  : ConnectorKind::kMToNPartition;
+  msgs.kind = merged ? ConnectorKind::kMToNPartitionMerge
+                     : ConnectorKind::kMToNPartition;
   msgs.key_field = 0;
   msgs.field_count = 2;
   spec.Connect(msgs);
@@ -1009,18 +1043,18 @@ JobSpec BuildSuperstepJob(JobRuntimeContext* ctx) {
   muts.field_count = 2;
   spec.Connect(muts);
 
+  if (g_superstep_spec_tamper) g_superstep_spec_tamper(ctx, &spec);
   return spec;
 }
 
 JobSpec BuildDumpJob(JobRuntimeContext* ctx) {
   JobSpec spec;
   spec.set_name(ctx->job_config->name + "-dump");
-  spec.AddOperator(std::make_shared<LambdaOperatorDescriptor>(
-                       "dump-result",
-                       [ctx](TaskContext& task) {
-                         return RunDumpOp(ctx, task);
-                       }),
-                   ctx->cluster->num_partitions());
+  auto dump_op = std::make_shared<LambdaOperatorDescriptor>(
+      "dump-result",
+      [ctx](TaskContext& task) { return RunDumpOp(ctx, task); });
+  dump_op->DeclarePorts(0, 0);  // reads the Vertex index, writes the DFS
+  spec.AddOperator(dump_op, ctx->cluster->num_partitions());
   return spec;
 }
 
@@ -1028,12 +1062,12 @@ JobSpec BuildCheckpointJob(JobRuntimeContext* ctx, int64_t superstep) {
   JobSpec spec;
   spec.set_name(ctx->job_config->name + "-checkpoint-" +
                 std::to_string(superstep));
-  spec.AddOperator(std::make_shared<LambdaOperatorDescriptor>(
-                       "checkpoint",
-                       [ctx, superstep](TaskContext& task) {
-                         return RunCheckpointOp(ctx, task, superstep);
-                       }),
-                   ctx->cluster->num_partitions());
+  auto ckpt_op = std::make_shared<LambdaOperatorDescriptor>(
+      "checkpoint", [ctx, superstep](TaskContext& task) {
+        return RunCheckpointOp(ctx, task, superstep);
+      });
+  ckpt_op->DeclarePorts(0, 0);  // snapshots partition state to the DFS
+  spec.AddOperator(ckpt_op, ctx->cluster->num_partitions());
   return spec;
 }
 
@@ -1041,12 +1075,12 @@ JobSpec BuildRecoveryJob(JobRuntimeContext* ctx, int64_t superstep) {
   JobSpec spec;
   spec.set_name(ctx->job_config->name + "-recovery-" +
                 std::to_string(superstep));
-  spec.AddOperator(std::make_shared<LambdaOperatorDescriptor>(
-                       "recover",
-                       [ctx, superstep](TaskContext& task) {
-                         return RunRecoveryOp(ctx, task, superstep);
-                       }),
-                   ctx->cluster->num_partitions());
+  auto recover_op = std::make_shared<LambdaOperatorDescriptor>(
+      "recover", [ctx, superstep](TaskContext& task) {
+        return RunRecoveryOp(ctx, task, superstep);
+      });
+  recover_op->DeclarePorts(0, 0);  // rebuilds partition state from the DFS
+  spec.AddOperator(recover_op, ctx->cluster->num_partitions());
   return spec;
 }
 

@@ -2,6 +2,7 @@
 #define PREGELIX_PREGEL_PLANS_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "dataflow/job.h"
 #include "pregel/state.h"
@@ -41,6 +42,14 @@ JobSpec BuildRecoveryJob(JobRuntimeContext* ctx, int64_t superstep);
 
 /// DFS directory of one checkpoint.
 std::string CheckpointDir(const JobRuntimeContext& ctx, int64_t superstep);
+
+/// Test-only: when set, mutates every JobSpec BuildSuperstepJob returns —
+/// simulates a buggy plan generator so the verifier's switch-rejection
+/// fallback (plan_optimizer.cc) can be exercised end to end. Pass nullptr
+/// to clear. Install before Run, clear after; not thread-safe against
+/// in-flight jobs.
+using SuperstepSpecTamper = std::function<void(JobRuntimeContext*, JobSpec*)>;
+void SetSuperstepSpecTamperForTesting(SuperstepSpecTamper fn);
 
 /// Annotates a collected PlanProfile with the paper's operator vocabulary
 /// (Vid-merge, left-outer probe, combine group-by D3->D7, aggregation clone

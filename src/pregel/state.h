@@ -107,6 +107,13 @@ struct JobRuntimeContext {
   /// detection by ResolveAndPublishPlan.
   PlanDecision prev_plan;
   bool has_prev_plan = false;
+  /// Verifier fallback pin: when ResolveAndPublishPlan rejects the
+  /// optimizer's candidate for `pinned_superstep`, ResolvePlanDecision
+  /// returns `pinned_plan` for that superstep instead of re-deriving the
+  /// rejected choice (the pin is inert for any other superstep).
+  bool plan_pinned = false;
+  int64_t pinned_superstep = -1;
+  PlanDecision pinned_plan;
 
   /// True when the Vid live-vertex index must be maintained (any job that
   /// may run a left outer join superstep).

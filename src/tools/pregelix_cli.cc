@@ -31,9 +31,11 @@
 #include "common/trace.h"
 #include "server/server.h"
 #include "dataflow/cluster.h"
+#include "dataflow/plan_verifier.h"
 #include "dfs/dfs.h"
 #include "graph/generator.h"
 #include "graph/sampler.h"
+#include "pregel/plans.h"
 #include "pregel/runtime.h"
 
 namespace pregelix {
@@ -52,6 +54,66 @@ struct Flags {
   }
   bool Has(const std::string& key) const { return values.count(key) > 0; }
 };
+
+/// Parses the physical plan hint flags into `job` (shared by run, explain,
+/// and verify).
+void ApplyPlanFlags(const Flags& flags, PregelixJobConfig* job) {
+  const std::string join = flags.Get("join", "fullouter");
+  job->join = join == "leftouter" ? JoinStrategy::kLeftOuter
+              : join == "adaptive" ? JoinStrategy::kAdaptive
+              : join == "auto"     ? JoinStrategy::kAuto
+                                   : JoinStrategy::kFullOuter;
+  const std::string groupby = flags.Get("groupby", "sort");
+  job->groupby = groupby == "hashsort" ? GroupByStrategy::kHashSort
+                 : groupby == "auto"   ? GroupByStrategy::kAuto
+                                       : GroupByStrategy::kSort;
+  const std::string connector = flags.Get("connector", "unmerged");
+  job->groupby_connector = connector == "merged" ? GroupByConnector::kMerged
+                           : connector == "auto" ? GroupByConnector::kAuto
+                                                 : GroupByConnector::kUnmerged;
+  const std::string storage = flags.Get("storage", "btree");
+  job->storage = storage == "lsm"    ? VertexStorage::kLsmBTree
+                 : storage == "auto" ? VertexStorage::kAuto
+                                     : VertexStorage::kBTree;
+}
+
+/// Builds the type-erased adapter for a typed vertex program; the deleter's
+/// capture keeps the typed program alive as long as the adapter.
+template <typename Program, typename... Args>
+std::shared_ptr<PregelProgram> OwnAdapter(Args&&... args) {
+  auto program = std::make_shared<Program>(std::forward<Args>(args)...);
+  auto* adapter = new typename Program::Adapter(program.get());
+  return std::shared_ptr<PregelProgram>(
+      adapter, [program](PregelProgram* p) { delete p; });
+}
+
+/// Resolves an algorithm name (plus its --source/--iterations parameters)
+/// into a self-owning program adapter.
+Status MakeAlgorithmAdapter(const Flags& flags, const std::string& algorithm,
+                            std::shared_ptr<PregelProgram>* out) {
+  const int64_t source = flags.GetInt("source", 0);
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 10));
+  if (algorithm == "pagerank") {
+    *out = OwnAdapter<PageRankProgram>(iterations);
+  } else if (algorithm == "sssp") {
+    *out = OwnAdapter<SsspProgram>(source);
+  } else if (algorithm == "cc") {
+    *out = OwnAdapter<ConnectedComponentsProgram>();
+  } else if (algorithm == "reachability") {
+    *out = OwnAdapter<ReachabilityProgram>(source);
+  } else if (algorithm == "triangles") {
+    *out = OwnAdapter<TriangleCountProgram>();
+  } else if (algorithm == "cliques") {
+    *out = OwnAdapter<MaximalCliquesProgram>();
+  } else if (algorithm == "bfs-tree") {
+    *out = OwnAdapter<BfsTreeProgram>(source);
+  } else if (algorithm == "scc") {
+    *out = OwnAdapter<SccProgram>();
+  } else {
+    return Status::InvalidArgument("unknown --algorithm=" + algorithm);
+  }
+  return Status::OK();
+}
 
 int Usage() {
   printf(R"(pregelix — Pregel graph analytics on a dataflow engine
@@ -92,6 +154,12 @@ commands:
       --profile                 collect per-operator plan profiles (see explain)
       --stall-factor=F          warn when a superstep exceeds F x the trailing
                                 mean wall time (default 4, <=0 disables)
+      --verify                  statically verify the job's physical plans
+                                (structure, declared stream properties,
+                                memory budgets) and abort before running if
+                                any is invalid; add --all-plans to also
+                                check every plan the optimizer could switch
+                                to
       --trace-out=FILE          write a Chrome trace_event JSON (open in
                                 chrome://tracing or ui.perfetto.dev)
       --metrics-json=FILE       write the metrics registry as JSON
@@ -109,6 +177,16 @@ commands:
       --top=K                   show the K hottest operators (default 3)
       --profile-json=FILE       export the cumulative plan profile as JSON
                                 (timing-free: byte-identical across runs)
+  verify     static plan verification without running anything (no --dfs or
+             input graph needed): builds the load/superstep/dump/checkpoint/
+             recovery plans the flags select and checks structure, declared
+             stream properties, and memory-budget feasibility (DESIGN.md §18)
+      --algorithm=NAME          vertex program (default pagerank)
+      --workers=N --worker-ram-mb=M   budgets to verify against
+      --join/--groupby/--connector/--storage   plan hints, as for run
+      --configured-only         check only the configured plan; the default
+                                sweeps every join x group-by x connector
+                                combination the optimizer could switch to
   serve      standalone observability server (no --dfs needed): serves the
              process-global metrics registry, job table, and event journal
       --admin-port=N            listen port (default 9090; 0 = ephemeral)
@@ -204,6 +282,114 @@ Status PrintExplain(const Flags& flags, const JobResult& result) {
   return Status::OK();
 }
 
+/// Static plan audit (DESIGN.md §18): builds every physical plan the job
+/// can produce — load, superstep (the configured plan, or with `all_plans`
+/// every join x group-by x connector combination the optimizer could ever
+/// switch to), dump, checkpoint, recovery — and runs the plan verifier over
+/// each without executing anything. Prints one line per clean plan and the
+/// full compiler-style diagnostic per rejected one.
+Status VerifyJobPlans(SimulatedCluster* cluster, DistributedFileSystem* dfs,
+                      const PregelixJobConfig& base_job,
+                      PregelProgram* program, bool all_plans) {
+  JobRuntimeContext ctx;
+  PregelixJobConfig job = base_job;
+  ctx.program = program;
+  ctx.job_config = &job;
+  ctx.cluster = cluster;
+  ctx.dfs = dfs;
+  ctx.job_id = "verify";
+  ctx.current_superstep = 1;
+
+  const PlanVerifyOptions vopts = PlanVerifyOptionsFrom(cluster->config());
+  int checked = 0;
+  int failed = 0;
+  auto check = [&](const std::string& label, const JobSpec& spec) {
+    ++checked;
+    const PlanVerifyResult verdict = VerifyPlan(spec, vopts);
+    if (verdict.ok()) {
+      printf("verify %-44s OK (%zu ops, %zu connectors)\n", label.c_str(),
+             spec.ops().size(), spec.connectors().size());
+    } else {
+      ++failed;
+      printf("verify %-44s FAILED\n%s\n", label.c_str(),
+             verdict.Render(spec.name()).c_str());
+    }
+  };
+  auto check_superstep = [&]() {
+    // BuildSuperstepJob resolves kAuto/kAdaptive knobs into ctx.current_*;
+    // label with what was actually planned.
+    const JobSpec spec = BuildSuperstepJob(&ctx);
+    const PlanDecision d{ctx.current_join, ctx.current_groupby,
+                         ctx.current_connector};
+    check("superstep[" + PlanDecisionString(d) + "]", spec);
+  };
+
+  check("load", BuildLoadJob(&ctx));
+  if (all_plans) {
+    // The optimizer's full reachable plan space: any switchable combination
+    // may become the next superstep's plan, so all of them must verify.
+    for (JoinStrategy join :
+         {JoinStrategy::kFullOuter, JoinStrategy::kLeftOuter}) {
+      for (GroupByStrategy groupby :
+           {GroupByStrategy::kSort, GroupByStrategy::kHashSort}) {
+        for (GroupByConnector conn :
+             {GroupByConnector::kUnmerged, GroupByConnector::kMerged}) {
+          job.join = join;
+          job.groupby = groupby;
+          job.groupby_connector = conn;
+          check_superstep();
+        }
+      }
+    }
+    job = base_job;
+  } else {
+    check_superstep();
+  }
+  check("dump", BuildDumpJob(&ctx));
+  check("checkpoint", BuildCheckpointJob(&ctx, /*superstep=*/1));
+  check("recovery", BuildRecoveryJob(&ctx, /*superstep=*/1));
+
+  if (failed > 0) {
+    return Status::InvalidArgument(std::to_string(failed) + " of " +
+                                   std::to_string(checked) +
+                                   " plans failed verification");
+  }
+  printf("verified %d plans: all OK\n", checked);
+  return Status::OK();
+}
+
+/// `pregelix verify`: offline static analysis of the configured job's
+/// physical plans against the configured cluster budgets. Builds the plans
+/// exactly as `run` would but executes none of them, so it needs no input
+/// graph and (unless --dfs is given) no DFS.
+Status VerifyCommand(const Flags& flags) {
+  TempDir scratch("pregelix-verify");
+  DistributedFileSystem dfs(
+      flags.Has("dfs") ? flags.Get("dfs") : scratch.Sub("dfs"));
+
+  ClusterConfig config;
+  config.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  config.worker_ram_bytes =
+      static_cast<size_t>(flags.GetInt("worker-ram-mb", 16)) << 20;
+  config.temp_root = scratch.Sub("cluster");
+  SimulatedCluster cluster(config);
+
+  PregelixJobConfig job;
+  job.input_dir = flags.Get("input");
+  job.output_dir = flags.Get("output");
+  ApplyPlanFlags(flags, &job);
+  const std::string algorithm = flags.Get("algorithm", "pagerank");
+  job.name = "verify-" + algorithm;
+
+  std::shared_ptr<PregelProgram> adapter;
+  PREGELIX_RETURN_NOT_OK(MakeAlgorithmAdapter(flags, algorithm, &adapter));
+
+  // `verify` defaults to the exhaustive sweep; --configured-only restricts
+  // it to the plan the flags select (what `run --verify` checks).
+  return VerifyJobPlans(&cluster, &dfs, job, adapter.get(),
+                        /*all_plans=*/!flags.Has("configured-only"));
+}
+
 Status RunCommand(const Flags& flags, bool explain) {
   DistributedFileSystem dfs(flags.Get("dfs"));
   TempDir scratch("pregelix-cli");
@@ -272,57 +458,18 @@ Status RunCommand(const Flags& flags, bool explain) {
     job.stall_factor = std::stod(flags.Get("stall-factor"));
   }
 
-  const std::string join = flags.Get("join", "fullouter");
-  job.join = join == "leftouter" ? JoinStrategy::kLeftOuter
-             : join == "adaptive" ? JoinStrategy::kAdaptive
-             : join == "auto"     ? JoinStrategy::kAuto
-                                  : JoinStrategy::kFullOuter;
-  const std::string groupby = flags.Get("groupby", "sort");
-  job.groupby = groupby == "hashsort" ? GroupByStrategy::kHashSort
-                : groupby == "auto"   ? GroupByStrategy::kAuto
-                                      : GroupByStrategy::kSort;
-  const std::string connector = flags.Get("connector", "unmerged");
-  job.groupby_connector = connector == "merged" ? GroupByConnector::kMerged
-                          : connector == "auto" ? GroupByConnector::kAuto
-                                                : GroupByConnector::kUnmerged;
-  const std::string storage = flags.Get("storage", "btree");
-  job.storage = storage == "lsm"    ? VertexStorage::kLsmBTree
-                : storage == "auto" ? VertexStorage::kAuto
-                                    : VertexStorage::kBTree;
+  ApplyPlanFlags(flags, &job);
 
   const std::string algorithm = flags.Get("algorithm");
-  const int64_t source = flags.GetInt("source", 0);
-  const int iterations = static_cast<int>(flags.GetInt("iterations", 10));
   job.name = "cli-" + algorithm;
 
-  // Own the typed program + adapter pair for the chosen algorithm.
-  std::unique_ptr<PregelProgram> adapter;
-  PageRankProgram pagerank(iterations);
-  SsspProgram sssp(source);
-  ConnectedComponentsProgram cc;
-  ReachabilityProgram reach(source);
-  TriangleCountProgram triangles;
-  MaximalCliquesProgram cliques;
-  BfsTreeProgram bfs_tree(source);
-  SccProgram scc;
-  if (algorithm == "pagerank") {
-    adapter = std::make_unique<PageRankProgram::Adapter>(&pagerank);
-  } else if (algorithm == "sssp") {
-    adapter = std::make_unique<SsspProgram::Adapter>(&sssp);
-  } else if (algorithm == "cc") {
-    adapter = std::make_unique<ConnectedComponentsProgram::Adapter>(&cc);
-  } else if (algorithm == "reachability") {
-    adapter = std::make_unique<ReachabilityProgram::Adapter>(&reach);
-  } else if (algorithm == "triangles") {
-    adapter = std::make_unique<TriangleCountProgram::Adapter>(&triangles);
-  } else if (algorithm == "cliques") {
-    adapter = std::make_unique<MaximalCliquesProgram::Adapter>(&cliques);
-  } else if (algorithm == "bfs-tree") {
-    adapter = std::make_unique<BfsTreeProgram::Adapter>(&bfs_tree);
-  } else if (algorithm == "scc") {
-    adapter = std::make_unique<SccProgram::Adapter>(&scc);
-  } else {
-    return Status::InvalidArgument("unknown --algorithm=" + algorithm);
+  std::shared_ptr<PregelProgram> adapter;
+  PREGELIX_RETURN_NOT_OK(MakeAlgorithmAdapter(flags, algorithm, &adapter));
+
+  if (flags.Has("verify")) {
+    // Audit every plan this job can produce before running any of them.
+    PREGELIX_RETURN_NOT_OK(VerifyJobPlans(&cluster, &dfs, job, adapter.get(),
+                                          flags.Has("all-plans")));
   }
 
   JobResult result;
@@ -531,13 +678,15 @@ int Main(int argc, char** argv) {
     }
     SetLogLevel(level);
   }
-  if (!flags.Has("dfs") && command != "serve") {
+  if (!flags.Has("dfs") && command != "serve" && command != "verify") {
     fprintf(stderr, "--dfs=<root-dir> is required\n");
     return Usage();
   }
   Status s;
   if (command == "serve") {
     s = ServeCommand(flags);
+  } else if (command == "verify") {
+    s = VerifyCommand(flags);
   } else if (command == "run") {
     s = RunCommand(flags, /*explain=*/false);
   } else if (command == "explain") {

@@ -35,9 +35,11 @@ struct Collected {
 };
 
 /// Source operator: emits `count` (vid, payload) tuples per partition.
+/// `sorted` both staggers the vids into key order and declares the
+/// sortedness (the verifier demands the declaration on merge edges).
 std::shared_ptr<OperatorDescriptor> MakeGenerator(int count,
                                                   bool sorted = false) {
-  return std::make_shared<LambdaOperatorDescriptor>(
+  auto gen = std::make_shared<LambdaOperatorDescriptor>(
       "gen", [count, sorted](TaskContext& ctx) -> Status {
         for (int i = 0; i < count; ++i) {
           const int64_t vid =
@@ -52,6 +54,11 @@ std::shared_ptr<OperatorDescriptor> MakeGenerator(int count,
         }
         return Status::OK();
       });
+  if (sorted) {
+    gen->DeclareOutput(
+        0, {Sortedness::kSortedByKey, Partitioning::kArbitrary});
+  }
+  return gen;
 }
 
 /// Sink operator: drains input 0 into the Collected struct.
@@ -194,6 +201,9 @@ TEST_F(ExecutorTest, PipelinedMergePolicyOverrideAlsoWorks) {
   conn.dst_op = sink;
   conn.kind = ConnectorKind::kMToNPartitionMerge;
   conn.policy = ConnectorSpec::Policy::kPipelined;
+  // The verifier flags a pipelined merge as a deadlock hazard; this test
+  // guarantees channel capacity larger than any sender run, so acknowledge.
+  conn.unsafe_allow_pipelined_merge = true;
   spec.Connect(conn);
 
   ASSERT_TRUE(RunJob(cluster, spec, &collected).ok());

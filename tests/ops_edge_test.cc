@@ -142,6 +142,7 @@ TEST(OpsEdgeTest, MergingConnectorToleratesEmptyAndSkewedSenders) {
         }
         return Status::OK();
       });
+  gen->DeclareOutput(0, {Sortedness::kSortedByKey, Partitioning::kArbitrary});
   struct Counts {
     std::mutex mutex;
     int64_t total = 0;

@@ -6,14 +6,18 @@
 #      (-Wthread-safety -Werror), a compile-only proof of the locking
 #      annotations in src/common/thread_annotations.h
 #   2. clang-tidy over src/ with the checked-in .clang-tidy
-#   3. tools/lint_fault_points.py (fault-point naming + DESIGN.md table),
-#      tools/lint_metrics.py (metric naming + DESIGN.md table), and
-#      tools/lint_endpoints.py (server endpoints vs the DESIGN.md table)
+#   3. tools/lint_all.py: the four DESIGN.md cross-check lints —
+#      fault-injection points (§11), metric names (§10), server endpoints
+#      (§15), and journal categories (§15), each two-way
+#   3b. static plan verification: `pregelix verify` over the built-in
+#      example jobs (DESIGN.md §18; needs the built CLI, skipped otherwise)
 #   4. bench smoke: one short iteration of the kernel microbenchmarks via
 #      tools/bench_smoke.sh (needs a built build/ tree; skipped otherwise),
 #      plus an HTTP smoke of `pregelix serve` when the CLI is built
 #   5. --tsan: additionally build with PREGELIX_SANITIZE=thread and run the
 #      `tsan`-labeled ctest suites (tier-1 + concurrency_stress_test)
+#   6. --ubsan: additionally build with PREGELIX_SANITIZE=undefined and run
+#      the tier-1 ctest suites under UndefinedBehaviorSanitizer
 #
 # Stages whose toolchain is absent (no clang / clang-tidy on the box) are
 # SKIPPED with a notice rather than failed, so the gate degrades on
@@ -25,10 +29,12 @@ set -u
 cd "$(dirname "$0")/.."
 REPO="$PWD"
 RUN_TSAN=0
+RUN_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
-    *) echo "usage: $0 [--tsan]" >&2; exit 2 ;;
+    --ubsan) RUN_UBSAN=1 ;;
+    *) echo "usage: $0 [--tsan] [--ubsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -96,28 +102,32 @@ else
   fi
 fi
 
-# --- 3. Fault-point lint ----------------------------------------------------
-note "fault-point lint (naming convention + DESIGN.md table)"
-if python3 "$REPO/tools/lint_fault_points.py"; then
+# --- 3. DESIGN.md cross-check lints ----------------------------------------
+note "DESIGN.md cross-check lints (tools/lint_all.py)"
+if python3 "$REPO/tools/lint_all.py"; then
   :
 else
-  fail "lint_fault_points.py"
+  fail "lint_all.py"
 fi
 
-# --- 3b. Metric-name lint ---------------------------------------------------
-note "metric-name lint (naming convention + DESIGN.md table)"
-if python3 "$REPO/tools/lint_metrics.py"; then
-  :
+# --- 3b. Static plan verification -------------------------------------------
+note "static plan verification (pregelix verify, DESIGN.md section 18)"
+CLI_BIN="$REPO/build/src/tools/pregelix"
+if [ ! -x "$CLI_BIN" ]; then
+  skip "no built pregelix CLI (build the default tree first)"
 else
-  fail "lint_metrics.py"
-fi
-
-# --- 3c. Endpoint lint ------------------------------------------------------
-note "endpoint lint (server routes vs DESIGN.md endpoint table)"
-if python3 "$REPO/tools/lint_endpoints.py"; then
-  :
-else
-  fail "lint_endpoints.py"
+  VERIFY_OK=1
+  "$CLI_BIN" verify --algorithm=pagerank --workers=4 --worker-ram-mb=16 \
+    || VERIFY_OK=0
+  "$CLI_BIN" verify --algorithm=sssp --workers=4 --worker-ram-mb=16 \
+    --join=leftouter --groupby=hashsort --connector=merged \
+    --storage=lsm --configured-only \
+    || VERIFY_OK=0
+  if [ "$VERIFY_OK" = 1 ]; then
+    echo "   OK: example job plans verify clean"
+  else
+    fail "pregelix verify"
+  fi
 fi
 
 # --- 4. Bench smoke ---------------------------------------------------------
@@ -146,6 +156,23 @@ if [ "$RUN_TSAN" = 1 ]; then
     echo "   OK: tsan suites clean"
   else
     fail "TSan suite (logs: $BUILD_TSAN.*.log)"
+  fi
+fi
+
+# --- 6. Optional: UBSan suite -----------------------------------------------
+if [ "$RUN_UBSAN" = 1 ]; then
+  note "UndefinedBehaviorSanitizer suite (PREGELIX_SANITIZE=undefined, ctest -L tier1)"
+  BUILD_UBSAN="$REPO/build-ubsan"
+  if cmake -B "$BUILD_UBSAN" -S "$REPO" -DPREGELIX_SANITIZE=undefined \
+        > "$BUILD_UBSAN.configure.log" 2>&1 \
+     && cmake --build "$BUILD_UBSAN" -j "$JOBS" > "$BUILD_UBSAN.build.log" 2>&1 \
+     && (cd "$BUILD_UBSAN" \
+         && UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+            ctest -L tier1 --output-on-failure -j "$JOBS")
+  then
+    echo "   OK: ubsan suites clean"
+  else
+    fail "UBSan suite (logs: $BUILD_UBSAN.*.log)"
   fi
 fi
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Runs every DESIGN.md cross-check lint; fails if any fails.
+
+One stage of `tools/check_static.sh` (and usable standalone). Each lint
+stays an independent script on top of tools/lint_common.py; this driver
+just sequences them and aggregates the exit code:
+
+    lint_fault_points   fault-injection points  vs DESIGN.md §11
+    lint_metrics        metric registrations    vs DESIGN.md §10
+    lint_endpoints      server routes           vs DESIGN.md §15
+    lint_journal        journal categories      vs DESIGN.md §15
+
+Exit code 0 when every lint is clean; 1 otherwise.
+"""
+
+import importlib
+import sys
+
+LINTS = [
+    "lint_fault_points",
+    "lint_metrics",
+    "lint_endpoints",
+    "lint_journal",
+]
+
+
+def main():
+    failed = []
+    for name in LINTS:
+        if importlib.import_module(name).main() != 0:
+            failed.append(name)
+    if failed:
+        sys.stderr.write(
+            f"lint_all: FAILED ({len(failed)} of {len(LINTS)} lints: "
+            f"{', '.join(failed)})\n")
+        return 1
+    print(f"lint_all: OK ({len(LINTS)} lints clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Shared plumbing for the DESIGN.md cross-check lints.
+
+Every lint in this family enforces the same two-way contract: a set of
+names collected from the sources (fault points, metric names, journal
+categories, server endpoints) must equal the corresponding inventory
+table in DESIGN.md — an undocumented live name and a documented-but-dead
+name are both errors. This module holds the pieces they share:
+
+  * repo-relative paths (``REPO``, ``SRC``, ``DESIGN``)
+  * ``scan_sources()``        — collect literal names from source trees
+  * ``design_table_names()``  — extract backticked names from the first
+    column of the table following a bold ``**Anchor**`` paragraph
+  * ``two_way_diff()``        — the shared src-vs-DESIGN error messages
+  * ``report()``              — the uniform ``<tool>: OK/FAILED`` footer
+
+Individual lints stay single-purpose scripts (runnable on their own and
+via tools/lint_all.py); this module is their only shared dependency.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DESIGN = REPO / "DESIGN.md"
+
+
+def scan_sources(patterns, roots=(SRC,), excluded=(), suffixes=(".h", ".cc")):
+    """Collects literal names: name -> list of ``file:line`` usage sites.
+
+    ``patterns`` are compiled regexes whose group 1 is the name; they are
+    matched against whole-file text, so a pattern may span the line break
+    between a call and its first argument.
+    """
+    names = {}
+    excluded = set(excluded)
+    for root in roots:
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in suffixes or path in excluded:
+                continue
+            text = path.read_text()
+            for pattern in patterns:
+                for match in pattern.finditer(text):
+                    lineno = text.count("\n", 0, match.start()) + 1
+                    where = f"{path.relative_to(REPO)}:{lineno}"
+                    names.setdefault(match.group(1), []).append(where)
+    return names
+
+
+def design_table_names(tool, anchor, cell_pattern, discard=()):
+    """Names from the first column of the DESIGN.md table after ``anchor``.
+
+    ``anchor`` is the bold paragraph opener (e.g. ``"Metric naming"``);
+    the table is everything from the first ``|`` row to the next blank
+    line. ``discard`` drops convention-header placeholders.
+    """
+    text = DESIGN.read_text()
+    match = re.search(
+        r"^\*\*" + re.escape(anchor) + r"\*\*.*?(\n\|.*?)\n\n",
+        text, re.S | re.M)
+    if match is None:
+        sys.stderr.write(
+            f"{tool}: cannot find the table in DESIGN.md (expected after "
+            f"the '**{anchor}**' paragraph)\n")
+        sys.exit(1)
+    names = set()
+    for line in match.group(1).splitlines():
+        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
+            continue
+        first_cell = line.split("|")[1]
+        names.update(cell_pattern.findall(first_cell))
+    names.difference_update(discard)
+    return names
+
+
+def two_way_diff(src_names, design_names, what, table, verb="used"):
+    """The shared two-way error list: live-but-undocumented names first,
+    then documented-but-dead ones."""
+    errors = []
+    for name, sites in sorted(src_names.items()):
+        if name not in design_names:
+            errors.append(
+                f"{what} '{name}' ({verb} at {sites[0]}) is missing from "
+                f"the DESIGN.md {table}")
+    for name in sorted(design_names - set(src_names)):
+        errors.append(
+            f"{what} '{name}' is documented in DESIGN.md but never "
+            f"{verb} in the sources")
+    return errors
+
+
+def report(tool, errors, ok_detail, fail_detail):
+    """Prints the uniform footer; returns the process exit code."""
+    if errors:
+        for e in errors:
+            sys.stderr.write(f"{tool}: {e}\n")
+        sys.stderr.write(
+            f"{tool}: FAILED ({len(errors)} error(s); {fail_detail})\n")
+        return 1
+    print(f"{tool}: OK ({ok_detail})")
+    return 0

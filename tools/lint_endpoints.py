@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Cross-checks observability-server endpoints against DESIGN.md.
 
-Two-way contract (wired into the `check-static` target, next to
-lint_fault_points.py and lint_metrics.py):
+Two-way contract (stage of `tools/lint_all.py`, wired into the
+`check-static` target):
 
   1. Every endpoint in the `kEndpoints` table in src/server/server.cc
      appears in the DESIGN.md section-15 endpoint table.
@@ -18,13 +18,12 @@ with the docs keeps routing, metrics labels, and documentation aligned.
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
 
-import pathlib
 import re
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parent.parent
-SERVER_CC = REPO / "src" / "server" / "server.cc"
-DESIGN = REPO / "DESIGN.md"
+import lint_common as common
+
+SERVER_CC = common.SRC / "server" / "server.cc"
 
 ARRAY = re.compile(r"kEndpoints\[\]\s*=\s*\{(.*?)\};", re.S)
 LITERAL = re.compile(r'"(/[^"]*)"')
@@ -42,56 +41,24 @@ def collect_src_endpoints():
     if match is None:
         sys.stderr.write(
             "lint_endpoints: cannot find the kEndpoints array in "
-            f"{SERVER_CC.relative_to(REPO)}\n")
+            f"{SERVER_CC.relative_to(common.REPO)}\n")
         sys.exit(1)
-    return set(LITERAL.findall(match.group(1)))
-
-
-def collect_design_endpoints():
-    """Endpoints listed in the DESIGN.md endpoint table."""
-    text = DESIGN.read_text()
-    match = re.search(
-        r"^\*\*Endpoint table\*\*.*?\n(\|.*?)\n\n", text, re.S | re.M)
-    if match is None:
-        sys.stderr.write(
-            "lint_endpoints: cannot find the endpoint table in DESIGN.md "
-            "(expected after the '**Endpoint table**' paragraph)\n")
-        sys.exit(1)
-    endpoints = set()
-    for line in match.group(1).splitlines():
-        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
-            continue
-        first_cell = line.split("|")[1]
-        endpoints.update(TABLE_ENDPOINT.findall(first_cell))
-    return endpoints
+    where = f"{SERVER_CC.relative_to(common.REPO)}"
+    return {name: [where] for name in LITERAL.findall(match.group(1))}
 
 
 def main():
     src = collect_src_endpoints()
-    design = collect_design_endpoints()
-    errors = []
+    design = common.design_table_names(
+        "lint_endpoints", "Endpoint table", TABLE_ENDPOINT)
 
-    for endpoint in sorted(src - design):
-        errors.append(
-            f"endpoint '{endpoint}' is served (kEndpoints in "
-            f"src/server/server.cc) but missing from the DESIGN.md "
-            f"endpoint table")
-    for endpoint in sorted(design - src):
-        errors.append(
-            f"endpoint '{endpoint}' is documented in DESIGN.md but not in "
-            f"kEndpoints in src/server/server.cc")
+    errors = common.two_way_diff(
+        src, design, "endpoint", "endpoint table", verb="served")
 
-    if errors:
-        for e in errors:
-            sys.stderr.write(f"lint_endpoints: {e}\n")
-        sys.stderr.write(
-            f"lint_endpoints: FAILED ({len(errors)} error(s); "
-            f"{len(src)} endpoints in src/, {len(design)} in DESIGN.md)\n")
-        return 1
-
-    print(f"lint_endpoints: OK ({len(src)} endpoints, "
-          f"src/ and DESIGN.md agree)")
-    return 0
+    return common.report(
+        "lint_endpoints", errors,
+        f"{len(src)} endpoints, src/ and DESIGN.md agree",
+        f"{len(src)} endpoints in src/, {len(design)} in DESIGN.md")
 
 
 if __name__ == "__main__":

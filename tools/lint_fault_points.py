@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Cross-checks fault-injection point names against DESIGN.md.
 
-Two-way contract (wired into the `check-static` target):
+Two-way contract (stage of `tools/lint_all.py`, wired into the
+`check-static` target):
 
   1. Every point used in src/ follows the `layer.object.op` naming
      convention: two or more lowercase dot-separated segments of
@@ -20,13 +21,10 @@ example points).
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
 
-import pathlib
 import re
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
-DESIGN = REPO / "DESIGN.md"
+import lint_common as common
 
 # Literal point-name collectors. WriteCurrent forwards its argument to
 # MaybeFail unchanged (the LSM commit points).
@@ -40,77 +38,30 @@ NAME_CONVENTION = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 # Rows look like:  | `io.file.write` | ... |  or  | `a` / `a.commit` | ... |
 TABLE_POINT = re.compile(r"`([a-z][a-z0-9_.]*)`")
 
-EXCLUDED = {SRC / "common" / "fault_injection.h",
-            SRC / "common" / "fault_injection.cc"}
-
-
-def collect_src_points():
-    """point name -> list of file:line where it is used."""
-    points = {}
-    for path in sorted(SRC.rglob("*")):
-        if path.suffix not in (".h", ".cc") or path in EXCLUDED:
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            for pattern in CALL_PATTERNS:
-                for name in pattern.findall(line):
-                    where = f"{path.relative_to(REPO)}:{lineno}"
-                    points.setdefault(name, []).append(where)
-    return points
-
-
-def collect_design_points():
-    """Points listed in the DESIGN.md fault-point table."""
-    text = DESIGN.read_text()
-    match = re.search(
-        r"^\*\*Point naming\*\*.*?\n(.*?)\n\n", text, re.S | re.M)
-    if match is None:
-        sys.stderr.write(
-            "lint_fault_points: cannot find the fault-point table in "
-            "DESIGN.md (expected after the '**Point naming**' paragraph)\n")
-        sys.exit(1)
-    table = match.group(1)
-    points = set()
-    for line in table.splitlines():
-        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
-            continue
-        first_cell = line.split("|")[1]
-        points.update(TABLE_POINT.findall(first_cell))
-    points.discard("layer.component.event")  # the convention header row
-    return points
+EXCLUDED = {common.SRC / "common" / "fault_injection.h",
+            common.SRC / "common" / "fault_injection.cc"}
 
 
 def main():
-    src_points = collect_src_points()
-    design_points = collect_design_points()
-    errors = []
+    src_points = common.scan_sources(CALL_PATTERNS, excluded=EXCLUDED)
+    design_points = common.design_table_names(
+        "lint_fault_points", "Point naming", TABLE_POINT,
+        discard={"layer.component.event"})  # the convention header row
 
+    errors = []
     for name, sites in sorted(src_points.items()):
         if not NAME_CONVENTION.match(name):
             errors.append(
                 f"point '{name}' violates the layer.object.op convention "
                 f"(used at {sites[0]})")
-        if name not in design_points:
-            errors.append(
-                f"point '{name}' (used at {sites[0]}) is missing from the "
-                f"DESIGN.md fault-point table")
+    errors += common.two_way_diff(
+        src_points, design_points, "point", "fault-point table")
 
-    for name in sorted(design_points - set(src_points)):
-        errors.append(
-            f"point '{name}' is documented in DESIGN.md but never used "
-            f"in src/")
-
-    if errors:
-        for e in errors:
-            sys.stderr.write(f"lint_fault_points: {e}\n")
-        sys.stderr.write(
-            f"lint_fault_points: FAILED ({len(errors)} error(s); "
-            f"{len(src_points)} points in src/, "
-            f"{len(design_points)} in DESIGN.md)\n")
-        return 1
-
-    print(f"lint_fault_points: OK ({len(src_points)} points, "
-          f"src/ and DESIGN.md agree)")
-    return 0
+    return common.report(
+        "lint_fault_points", errors,
+        f"{len(src_points)} points, src/ and DESIGN.md agree",
+        f"{len(src_points)} points in src/, {len(design_points)} in "
+        f"DESIGN.md")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cross-checks event-journal categories against DESIGN.md.
+
+Two-way contract (stage of `tools/lint_all.py`, wired into the
+`check-static` target):
+
+  1. Every category appended in src/ follows the `layer.event` naming
+     convention: two or more lowercase dot-separated segments of
+     [a-z0-9_].
+  2. Every category appended in src/ appears in the DESIGN.md
+     section-15 journal-category table, and every category in the table
+     is appended somewhere (a documented-but-dead category is as much a
+     lint error as an undocumented live one).
+
+Categories are collected from literal first arguments to
+`EventJournal::Global().Append(...)` (the literal may sit on the line
+after the call). `src/common/event_journal.{h,cc}` is the framework
+itself and is excluded (its doc comments quote example categories);
+tests/ may append throwaway categories and is not scanned.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+import lint_common as common
+
+# Literal category collector; the category is the first argument and
+# routinely lands on the next line after the 80-column break.
+CALL_PATTERNS = [
+    re.compile(r'EventJournal::Global\(\)\.Append\(\s*"([^"]+)"'),
+]
+
+NAME_CONVENTION = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+# Rows look like:  | `plan.switch` | ... |
+TABLE_CATEGORY = re.compile(r"`([a-z][a-z0-9_.]*)`")
+
+EXCLUDED = {common.SRC / "common" / "event_journal.h",
+            common.SRC / "common" / "event_journal.cc"}
+
+
+def main():
+    src_cats = common.scan_sources(CALL_PATTERNS, excluded=EXCLUDED)
+    design_cats = common.design_table_names(
+        "lint_journal", "Journal categories", TABLE_CATEGORY)
+
+    errors = []
+    for name, sites in sorted(src_cats.items()):
+        if not NAME_CONVENTION.match(name):
+            errors.append(
+                f"category '{name}' violates the layer.event convention "
+                f"(appended at {sites[0]})")
+    errors += common.two_way_diff(
+        src_cats, design_cats, "category", "journal-category table",
+        verb="appended")
+
+    return common.report(
+        "lint_journal", errors,
+        f"{len(src_cats)} categories, src/ and DESIGN.md agree",
+        f"{len(src_cats)} categories in src/, {len(design_cats)} in "
+        f"DESIGN.md")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

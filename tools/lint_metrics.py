@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Cross-checks metric names against DESIGN.md.
 
-Two-way contract (wired into the `check-static` target, next to
-lint_fault_points.py):
+Two-way contract (stage of `tools/lint_all.py`, wired into the
+`check-static` target):
 
   1. Every metric registered in src/ or bench/ follows the
      `pregelix.<layer>.<name>` naming convention: the literal prefix
@@ -21,109 +21,62 @@ tests/ may register throwaway names and is not scanned.
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
 
-import pathlib
 import re
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parent.parent
-SCAN_ROOTS = [REPO / "src", REPO / "bench"]
-DESIGN = REPO / "DESIGN.md"
+import lint_common as common
 
 # Literal registration collector; matches across a line break between the
 # call and its name argument.
-CALL_PATTERN = re.compile(
-    r'Get(?:Counter|Gauge|Histogram)\(\s*"([^"]+)"')
+CALL_PATTERNS = [
+    re.compile(r'Get(?:Counter|Gauge|Histogram)\(\s*"([^"]+)"'),
+]
 
 NAME_CONVENTION = re.compile(r"^pregelix(\.[a-z][a-z0-9_]*){2,}$")
 
 # Table rows look like:  | `pregelix.buffer.hits` | counter | ... |
 TABLE_NAME = re.compile(r"`(pregelix[a-z0-9_.]*)`")
 
-EXCLUDED = {REPO / "src" / "common" / "metrics_registry.h",
-            REPO / "src" / "common" / "metrics_registry.cc"}
+SCAN_ROOTS = (common.SRC, common.REPO / "bench")
+
+EXCLUDED = {common.SRC / "common" / "metrics_registry.h",
+            common.SRC / "common" / "metrics_registry.cc"}
 
 # Families that must stay live in src/. The two-way check above cannot
 # catch a family deleted from *both* code and table at once; these are
-# documented contracts (DESIGN.md §10/§17) other tooling scrapes.
+# documented contracts (DESIGN.md §10/§17/§18) other tooling scrapes.
 REQUIRED_FAMILIES = (
     "pregelix.optimizer.",
+    "pregelix.verifier.",
 )
 
 
-def collect_src_names():
-    """metric name -> list of file:line where it is registered."""
-    names = {}
-    for root in SCAN_ROOTS:
-        for path in sorted(root.rglob("*")):
-            if path.suffix not in (".h", ".cc") or path in EXCLUDED:
-                continue
-            text = path.read_text()
-            for match in CALL_PATTERN.finditer(text):
-                lineno = text.count("\n", 0, match.start()) + 1
-                where = f"{path.relative_to(REPO)}:{lineno}"
-                names.setdefault(match.group(1), []).append(where)
-    return names
-
-
-def collect_design_names():
-    """Metric names listed in the DESIGN.md metric table."""
-    text = DESIGN.read_text()
-    match = re.search(
-        r"^\*\*Metric naming\*\*.*?(\n\|.*?)\n\n", text, re.S | re.M)
-    if match is None:
-        sys.stderr.write(
-            "lint_metrics: cannot find the metric table in DESIGN.md "
-            "(expected after the '**Metric naming**' paragraph)\n")
-        sys.exit(1)
-    table = match.group(1)
-    names = set()
-    for line in table.splitlines():
-        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
-            continue
-        first_cell = line.split("|")[1]
-        names.update(TABLE_NAME.findall(first_cell))
-    names.discard("pregelix.layer.name")  # the convention header row
-    return names
-
-
 def main():
-    src_names = collect_src_names()
-    design_names = collect_design_names()
-    errors = []
+    src_names = common.scan_sources(
+        CALL_PATTERNS, roots=SCAN_ROOTS, excluded=EXCLUDED)
+    design_names = common.design_table_names(
+        "lint_metrics", "Metric naming", TABLE_NAME,
+        discard={"pregelix.layer.name"})  # the convention header row
 
+    errors = []
     for name, sites in sorted(src_names.items()):
         if not NAME_CONVENTION.match(name):
             errors.append(
                 f"metric '{name}' violates the pregelix.<layer>.<name> "
                 f"convention (registered at {sites[0]})")
-        if name not in design_names:
-            errors.append(
-                f"metric '{name}' (registered at {sites[0]}) is missing "
-                f"from the DESIGN.md metric table")
-
-    for name in sorted(design_names - set(src_names)):
-        errors.append(
-            f"metric '{name}' is documented in DESIGN.md but never "
-            f"registered in src/ or bench/")
-
+    errors += common.two_way_diff(
+        src_names, design_names, "metric", "metric table", verb="registered")
     for family in REQUIRED_FAMILIES:
         if not any(name.startswith(family) for name in src_names):
             errors.append(
                 f"required metric family '{family}*' has no registration "
                 f"in src/ or bench/")
 
-    if errors:
-        for e in errors:
-            sys.stderr.write(f"lint_metrics: {e}\n")
-        sys.stderr.write(
-            f"lint_metrics: FAILED ({len(errors)} error(s); "
-            f"{len(src_names)} metrics in src/+bench/, "
-            f"{len(design_names)} in DESIGN.md)\n")
-        return 1
-
-    print(f"lint_metrics: OK ({len(src_names)} metrics, "
-          f"src/+bench/ and DESIGN.md agree)")
-    return 0
+    return common.report(
+        "lint_metrics", errors,
+        f"{len(src_names)} metrics, src/+bench/ and DESIGN.md agree",
+        f"{len(src_names)} metrics in src/+bench/, {len(design_names)} in "
+        f"DESIGN.md")
 
 
 if __name__ == "__main__":
