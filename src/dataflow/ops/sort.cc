@@ -18,11 +18,16 @@ namespace {
 /// Sequential cursor over one run file.
 class RunCursor {
  public:
-  RunCursor(std::string path, int field_count, WorkerMetrics* metrics)
-      : path_(std::move(path)), accessor_(field_count), metrics_(metrics) {}
+  RunCursor(std::string path, int field_count, WorkerMetrics* metrics,
+            OverlapRuntime* overlap)
+      : path_(std::move(path)),
+        accessor_(field_count),
+        metrics_(metrics),
+        overlap_(overlap) {}
 
   Status Init() {
-    PREGELIX_RETURN_NOT_OK(RunFileReader::Open(path_, metrics_, &reader_));
+    PREGELIX_RETURN_NOT_OK(
+        RunFileReader::Open(path_, metrics_, overlap_, &reader_));
     return Advance();
   }
 
@@ -43,6 +48,11 @@ class RunCursor {
   void Discard() {
     reader_.reset();
     DeleteFileIfExists(path_);
+  }
+
+  /// Foreground ns spent blocked on prefetched refills (DESIGN.md §19).
+  uint64_t io_wait_ns() const {
+    return reader_ != nullptr ? reader_->io_wait_ns() : 0;
   }
 
  private:
@@ -70,6 +80,7 @@ class RunCursor {
   int index_ = 0;
   bool valid_ = false;
   WorkerMetrics* metrics_;
+  OverlapRuntime* overlap_;
 };
 
 /// Tournament loser tree over the run cursors, keyed on the 8-byte
@@ -229,7 +240,7 @@ RunWriter::RunWriter(const SortConfig& config, const std::string& path)
     : appender_(config.frame_size, config.field_count),
       path_(path),
       config_(&config) {
-  open_status_ = RunFileWriter::Open(path, config.metrics, &file_);
+  open_status_ = RunFileWriter::Open(path, config.metrics, config.overlap, &file_);
 }
 
 Status RunWriter::Append(std::span<const Slice> fields) {
@@ -252,7 +263,11 @@ Status RunWriter::Finish() {
     PREGELIX_RETURN_NOT_OK(file_->AppendBlock(block));
     appender_.Reset();
   }
-  return file_->Finish();
+  Status s = file_->Finish();
+  if (config_->profile != nullptr) {
+    config_->profile->AddIoWait(file_->io_wait_ns());
+  }
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +290,7 @@ Status MergeRuns(const SortConfig& config, const GroupCombiner& combiner,
       std::vector<std::unique_ptr<RunCursor>> cursors;
       for (size_t i = start; i < end; ++i) {
         cursors.push_back(std::make_unique<RunCursor>(
-            run_paths[i], config.field_count, config.metrics));
+            run_paths[i], config.field_count, config.metrics, config.overlap));
         PREGELIX_RETURN_NOT_OK(cursors.back()->Init());
       }
       const std::string out_path = config.scratch_prefix + "-merge-" +
@@ -286,7 +301,12 @@ Status MergeRuns(const SortConfig& config, const GroupCombiner& combiner,
           config.metrics,
           [&](std::span<const Slice> fields) { return writer.Append(fields); }));
       PREGELIX_RETURN_NOT_OK(writer.Finish());
-      for (auto& cursor : cursors) cursor->Discard();
+      for (auto& cursor : cursors) {
+        if (config.profile != nullptr) {
+          config.profile->AddIoWait(cursor->io_wait_ns());
+        }
+        cursor->Discard();
+      }
       next_paths.push_back(out_path);
     }
     run_paths = std::move(next_paths);
@@ -295,17 +315,41 @@ Status MergeRuns(const SortConfig& config, const GroupCombiner& combiner,
   std::vector<std::unique_ptr<RunCursor>> cursors;
   for (const std::string& path : run_paths) {
     cursors.push_back(std::make_unique<RunCursor>(path, config.field_count,
-                                                  config.metrics));
+                                                  config.metrics,
+                                                  config.overlap));
     PREGELIX_RETURN_NOT_OK(cursors.back()->Init());
   }
   PREGELIX_RETURN_NOT_OK(MergeCursors(cursors, config.key_field, combiner,
                                       /*apply_finish=*/true, config.metrics,
                                       emit));
-  for (auto& cursor : cursors) cursor->Discard();
+  for (auto& cursor : cursors) {
+    if (config.profile != nullptr) {
+      config.profile->AddIoWait(cursor->io_wait_ns());
+    }
+    cursor->Discard();
+  }
   return Status::OK();
 }
 
 }  // namespace internal_sort
+
+namespace {
+
+/// Eager-ship profitability (DESIGN.md §19): a drained batch ships straight
+/// downstream only when in-batch combining was heavy — at most half as many
+/// distinct groups as tuples absorbed. Heavy in-batch combining means a
+/// key's duplicates arrive clustered, so the batch already collapsed them
+/// and the cross-batch run merge has little left to earn; the spill's
+/// write and read-back are then pure overhead. A batch that barely combined
+/// implies its keys recur *across* batches — only the run merge can
+/// collapse those, so shipping such a batch would re-send nearly every
+/// duplicate over the wire. Depends only on batch content, so the decision
+/// is deterministic across runs and recovery.
+bool EagerShipProfitable(size_t groups, size_t tuples) {
+  return groups * 2 <= tuples;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ExternalSortGrouper
@@ -339,7 +383,21 @@ Status ExternalSortGrouper::Add(std::span<const Slice> fields) {
   const size_t tuple_size = 4u * n + data;
   if (!entries_.empty() &&
       BatchBytes() + tuple_size > config_.memory_budget_bytes) {
-    PREGELIX_RETURN_NOT_OK(SpillBatch());
+    if (eager_sink_ && last_flush_tuples_ > 0 &&
+        EagerShipProfitable(last_flush_groups_, last_flush_tuples_)) {
+      // Eager shuffle (§19): the previous flush combined heavily, so this
+      // batch's groups are expected near-final — ship the sorted,
+      // pre-combined batch downstream now instead of parking it in a run
+      // file. No final transform; the receiving group-by folds the partials
+      // and applies it once. Poorly-combining batches keep spilling so
+      // cross-batch duplicates are merged before they reach the wire. The
+      // previous flush's ratio stands in for this one's (message mixes
+      // shift slowly within a superstep) so the decision costs nothing;
+      // the first flush always spills.
+      PREGELIX_RETURN_NOT_OK(DrainBatchSorted(eager_sink_));
+    } else {
+      PREGELIX_RETURN_NOT_OK(SpillBatch());
+    }
   }
   // Encode the tuple straight into the pool — no temporary string.
   const size_t offset = pool_.size();
@@ -356,40 +414,66 @@ Status ExternalSortGrouper::Add(std::span<const Slice> fields) {
   entries_.push_back(Entry{NormalizedKeyPrefix(fields[config_.key_field]),
                            static_cast<uint32_t>(offset),
                            static_cast<uint32_t>(tuple_size)});
+  const int64_t key_size =
+      static_cast<int64_t>(fields[config_.key_field].size());
+  if (batch_key_size_ == -1) {
+    batch_key_size_ = key_size <= 8 ? key_size : -2;
+  } else if (batch_key_size_ != key_size) {
+    batch_key_size_ = -2;
+  }
   if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
   return Status::OK();
 }
 
-Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
-  const int key_field = config_.key_field;
-  const int field_count = config_.field_count;
-  auto key_of = [&](const Entry& e) {
-    return TupleFieldFromRaw(Slice(pool_.data() + e.offset, e.size),
-                             field_count, key_field);
-  };
+Slice ExternalSortGrouper::EntryKey(const Entry& e) const {
+  return TupleFieldFromRaw(Slice(pool_.data() + e.offset, e.size),
+                           config_.field_count, config_.key_field);
+}
+
+void ExternalSortGrouper::SortBatch() {
   // The cached normalized prefixes settle the vast majority of comparisons
   // with one integer compare; a tie implies the first 8 key bytes match and
   // only then is the key re-decoded from the pool. Same ordering as a full
   // key compare, so the resulting permutation is unchanged.
-  std::sort(entries_.begin(), entries_.end(),
-            [&](const Entry& a, const Entry& b) {
-              if (a.norm != b.norm) return a.norm < b.norm;
-              return key_of(a).compare(key_of(b)) < 0;
-            });
+  //
+  // When every key in the batch has one width ≤ 8 bytes (the common case:
+  // fixed-width vertex ids), the prefix is injective — a norm tie IS a key
+  // match — so the sort and the group-equality tests run over the entry
+  // strip with pure integer comparisons, no pool indirection in the inner
+  // loop.
+  if (batch_key_size_ >= 0) {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.norm < b.norm; });
+  } else {
+    std::sort(entries_.begin(), entries_.end(),
+              [this](const Entry& a, const Entry& b) {
+                if (a.norm != b.norm) return a.norm < b.norm;
+                return EntryKey(a).compare(EntryKey(b)) < 0;
+              });
+  }
   if (config_.metrics != nullptr) {
     config_.metrics->AddCpuOps(entries_.size());
   }
+}
+
+Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
+  SortBatch();
+  const int field_count = config_.field_count;
+  const bool norm_decides = batch_key_size_ >= 0;
+  const size_t tuples = entries_.size();
+  size_t groups = 0;
   std::vector<Slice> fields;
   if (combiner_.valid()) {
     size_t i = 0;
     while (i < entries_.size()) {
-      const Slice key = key_of(entries_[i]);
+      ++groups;
+      const Slice key = EntryKey(entries_[i]);
       Slice payload = TupleFieldFromRaw(
           Slice(pool_.data() + entries_[i].offset, entries_[i].size), 2, 1);
       combiner_.init(payload, &acc_);
       size_t j = i + 1;
       while (j < entries_.size() && entries_[j].norm == entries_[i].norm &&
-             key_of(entries_[j]) == key) {
+             (norm_decides || EntryKey(entries_[j]) == key)) {
         combiner_.step(
             TupleFieldFromRaw(
                 Slice(pool_.data() + entries_[j].offset, entries_[j].size), 2,
@@ -410,9 +494,17 @@ Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
       }
       PREGELIX_RETURN_NOT_OK(fn(fields));
     }
+    groups = tuples;
+  }
+  if (tuples > 0) {
+    // Remembered for the next eager-ship decision: the group/tuple counts
+    // fall out of the drain loop for free, so the gate costs no extra pass.
+    last_flush_groups_ = groups;
+    last_flush_tuples_ = tuples;
   }
   entries_.clear();
   pool_.clear();
+  batch_key_size_ = -1;
   return Status::OK();
 }
 
@@ -442,6 +534,19 @@ Status ExternalSortGrouper::Finish(const TupleEmitFn& emit) {
   finished_ = true;
   if (config_.profile != nullptr) {
     config_.profile->UpdateMemHwm(BatchBytes());
+  }
+  if (eager_sink_) {
+    // The remainder is one more partial batch for the downstream group-by,
+    // which re-combines and applies the final transform once; batches that
+    // combined poorly sit in run files and are merged across batches here.
+    // (Eager mode requires a transform-free combiner: the run merge below
+    // would otherwise finish accumulators the downstream still folds.)
+    PREGELIX_CHECK(!combiner_.valid() || !combiner_.finish);
+    PREGELIX_RETURN_NOT_OK(DrainBatchSorted(emit));
+    if (run_paths_.empty()) return Status::OK();
+    std::vector<std::string> runs = std::move(run_paths_);
+    run_paths_.clear();
+    return internal_sort::MergeRuns(config_, combiner_, std::move(runs), emit);
   }
   if (run_paths_.empty()) {
     // Fully in-memory: a single sorted drain, applying the final transform.
@@ -502,6 +607,7 @@ Status HashSortGrouper::Add(std::span<const Slice> fields) {
   PREGELIX_CHECK(!finished_);
   const Slice key = fields[0];
   const Slice payload = fields[1];
+  ++tuples_since_drain_;
   if (slots_.empty()) GrowSlots();
   const uint64_t h = SliceHash{}(key);
   const size_t mask = slots_.size() - 1;
@@ -532,16 +638,47 @@ Status HashSortGrouper::Add(std::span<const Slice> fields) {
   key_arena_.append(key.data(), key.size());
   groups_.push_back(std::move(g));
   slots_[s] = static_cast<uint32_t>(groups_.size());
+  const int64_t key_size = static_cast<int64_t>(key.size());
+  if (uniform_key_size_ == -1) {
+    uniform_key_size_ = key_size <= 8 ? key_size : -2;
+  } else if (uniform_key_size_ != key_size) {
+    uniform_key_size_ = -2;
+  }
   if (groups_.size() * 4 >= slots_.size() * 3) GrowSlots();
   if (config_.metrics != nullptr) config_.metrics->AddCpuOps(1);
   if (TableBytes() > config_.memory_budget_bytes) {
-    PREGELIX_RETURN_NOT_OK(SpillTable());
+    if (eager_sink_ &&
+        EagerShipProfitable(groups_.size(), tuples_since_drain_)) {
+      // Eager shuffle (§19): the table combined heavily — its accumulators
+      // already collapsed the duplicates, which evidently cluster locally —
+      // so stream the sorted partials downstream instead of parking them in
+      // a run file. A poorly-combining table spills as usual: its keys
+      // recur across drains, and only the run merge collapses those before
+      // they reach the wire. (Unlike the sort grouper, the counts here are
+      // live table state, so the current drain decides for itself.)
+      PREGELIX_RETURN_NOT_OK(EmitTable(eager_sink_));
+    } else {
+      PREGELIX_RETURN_NOT_OK(SpillTable());
+    }
   }
   return Status::OK();
 }
 
 void HashSortGrouper::SortedOrder(std::vector<uint32_t>* order) const {
   order->resize(groups_.size());
+  if (uniform_key_size_ >= 0) {
+    // One key width ≤ 8 bytes across the (deduped) table means the cached
+    // norms are pairwise distinct, so the order is fully decided by them.
+    // Sort a contiguous (norm, index) strip with the trivial integer
+    // comparator — no Group/arena indirection in the inner loop.
+    std::vector<std::pair<uint64_t, uint32_t>> strip(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      strip[g] = {groups_[g].norm, static_cast<uint32_t>(g)};
+    }
+    std::sort(strip.begin(), strip.end());
+    for (size_t i = 0; i < strip.size(); ++i) (*order)[i] = strip[i].second;
+    return;
+  }
   std::iota(order->begin(), order->end(), 0u);
   std::sort(order->begin(), order->end(), [&](uint32_t a, uint32_t b) {
     if (groups_[a].norm != groups_[b].norm) {
@@ -577,10 +714,15 @@ Status HashSortGrouper::SpillTable() {
     config_.profile->AddSpill(writer.bytes_written());
   }
   run_paths_.push_back(path);
-  // Spilling means the table outgrew the budget. TableBytes() charges
+  ReleaseTable();
+  return Status::OK();
+}
+
+void HashSortGrouper::ReleaseTable() {
+  // Draining means the table outgrew the budget. TableBytes() charges
   // capacities, so the memory must actually be released here — a cleared
   // table that keeps its high-water capacity would sit at the budget
-  // ceiling forever and degrade into spilling a one-group run per Add.
+  // ceiling forever and degrade into draining a one-group batch per Add.
   groups_.clear();
   groups_.shrink_to_fit();
   key_arena_.clear();
@@ -588,6 +730,27 @@ Status HashSortGrouper::SpillTable() {
   slots_.clear();
   slots_.shrink_to_fit();
   acc_bytes_ = 0;
+  uniform_key_size_ = -1;
+  tuples_since_drain_ = 0;
+}
+
+Status HashSortGrouper::EmitTable(const TupleEmitFn& emit) {
+  if (groups_.empty()) return Status::OK();
+  if (config_.profile != nullptr) {
+    config_.profile->UpdateMemHwm(TableBytes());
+  }
+  std::vector<uint32_t> order;
+  SortedOrder(&order);
+  if (config_.metrics != nullptr) {
+    config_.metrics->AddCpuOps(order.size());
+  }
+  // Partial accumulators ship as-is — no final transform; the downstream
+  // group-by re-combines and finishes each key once.
+  for (uint32_t g : order) {
+    const Slice out[2] = {GroupKey(groups_[g]), Slice(groups_[g].acc)};
+    PREGELIX_RETURN_NOT_OK(emit(out));
+  }
+  ReleaseTable();
   return Status::OK();
 }
 
@@ -596,6 +759,19 @@ Status HashSortGrouper::Finish(const TupleEmitFn& emit) {
   finished_ = true;
   if (config_.profile != nullptr) {
     config_.profile->UpdateMemHwm(TableBytes());
+  }
+  if (eager_sink_) {
+    // The remainder streams out as one more partial table; the downstream
+    // group-by re-combines and applies the final transform once. Drains
+    // that combined poorly sit in run files and are merged across drains
+    // here (eager mode requires a transform-free combiner — see the sort
+    // grouper's Finish).
+    PREGELIX_CHECK(!combiner_.finish);
+    PREGELIX_RETURN_NOT_OK(EmitTable(emit));
+    if (run_paths_.empty()) return Status::OK();
+    std::vector<std::string> runs = std::move(run_paths_);
+    run_paths_.clear();
+    return internal_sort::MergeRuns(config_, combiner_, std::move(runs), emit);
   }
   if (run_paths_.empty()) {
     std::vector<uint32_t> order;
@@ -611,6 +787,7 @@ Status HashSortGrouper::Finish(const TupleEmitFn& emit) {
     key_arena_.clear();
     std::fill(slots_.begin(), slots_.end(), 0);
     acc_bytes_ = 0;
+    uniform_key_size_ = -1;
     return Status::OK();
   }
   PREGELIX_RETURN_NOT_OK(SpillTable());

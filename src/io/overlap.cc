@@ -1,0 +1,241 @@
+#include "io/overlap.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/event_journal.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+
+namespace pregelix {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PrefetchPool
+
+PrefetchPool::PrefetchPool() : worker_([this] { WorkerLoop(); }) {}
+
+PrefetchPool::~PrefetchPool() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  worker_.join();
+}
+
+void PrefetchPool::Schedule(Slot* slot, std::function<Status()> fn) {
+  MutexLock lock(&mu_);
+  PREGELIX_CHECK(slot->state == Slot::State::kIdle)
+      << "prefetch slot scheduled twice";
+  slot->state = Slot::State::kQueued;
+  slot->fn = std::move(fn);
+  slot->status = Status::OK();
+  queue_.push_back(slot);
+  cv_.NotifyAll();
+}
+
+Status PrefetchPool::Await(Slot* slot, uint64_t* wait_ns) {
+  MutexLock lock(&mu_);
+  if (slot->state == Slot::State::kIdle) {
+    return Status::InvalidArgument("prefetch await with nothing scheduled");
+  }
+  if (slot->state == Slot::State::kReady) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t t0 = NowNs();
+    while (slot->state != Slot::State::kReady) cv_.Wait(&mu_);
+    if (wait_ns != nullptr) *wait_ns += NowNs() - t0;
+  }
+  slot->state = Slot::State::kIdle;
+  slot->fn = nullptr;
+  return std::move(slot->status);
+}
+
+void PrefetchPool::Cancel(Slot* slot) {
+  MutexLock lock(&mu_);
+  switch (slot->state) {
+    case Slot::State::kIdle:
+      return;
+    case Slot::State::kQueued:
+      // Not started: pull it out of the queue.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == slot) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      break;
+    case Slot::State::kRunning:
+      while (slot->state != Slot::State::kReady) cv_.Wait(&mu_);
+      break;
+    case Slot::State::kReady:
+      break;
+  }
+  wasted_.fetch_add(1, std::memory_order_relaxed);
+  slot->state = Slot::State::kIdle;
+  slot->fn = nullptr;
+  slot->status = Status::OK();
+}
+
+void PrefetchPool::WorkerLoop() {
+  for (;;) {
+    Slot* slot = nullptr;
+    std::function<Status()> fn;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // stop_ with nothing left
+      slot = queue_.front();
+      queue_.pop_front();
+      slot->state = Slot::State::kRunning;
+      fn = slot->fn;  // run outside the lock
+    }
+    Status s = fn();
+    {
+      MutexLock lock(&mu_);
+      slot->status = std::move(s);
+      slot->state = Slot::State::kReady;
+      cv_.NotifyAll();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WriteBehindQueue
+
+WriteBehindQueue::WriteBehindQueue(size_t budget_bytes, uint64_t stall_warn_ns)
+    : budget_(budget_bytes),
+      stall_warn_ns_(stall_warn_ns),
+      worker_([this] { WorkerLoop(); }) {}
+
+WriteBehindQueue::~WriteBehindQueue() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  worker_.join();
+}
+
+void WriteBehindQueue::Enqueue(Ticket* ticket, size_t bytes,
+                               std::function<Status()> fn,
+                               uint64_t* stall_ns) {
+  MutexLock lock(&mu_);
+  if (queue_bytes_ + bytes > budget_ && !queue_.empty()) {
+    // Over budget: stall until the worker frees space. An oversized job is
+    // admitted once the queue is empty so a budget smaller than one block
+    // cannot wedge the pipeline.
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t t0 = NowNs();
+    while (queue_bytes_ + bytes > budget_ && !queue_.empty()) cv_.Wait(&mu_);
+    if (stall_ns != nullptr) *stall_ns += NowNs() - t0;
+  }
+  queue_bytes_ += bytes;
+  queue_bytes_mirror_.store(queue_bytes_, std::memory_order_relaxed);
+  ++ticket->pending;
+  queue_.push_back(Job{ticket, bytes, std::move(fn)});
+  cv_.NotifyAll();
+}
+
+Status WriteBehindQueue::WaitTicket(Ticket* ticket, uint64_t* wait_ns) {
+  uint64_t waited = 0;
+  Status result;
+  {
+    MutexLock lock(&mu_);
+    if (ticket->pending > 0) {
+      const uint64_t t0 = NowNs();
+      while (ticket->pending > 0) cv_.Wait(&mu_);
+      waited = NowNs() - t0;
+      if (wait_ns != nullptr) *wait_ns += waited;
+    }
+    result = std::move(ticket->error);
+    ticket->error = Status::OK();
+  }
+  MaybeJournalStall("writebehind.ticket", waited);
+  return result;
+}
+
+void WriteBehindQueue::Drain(const char* where) {
+  uint64_t waited = 0;
+  {
+    MutexLock lock(&mu_);
+    if (!queue_.empty() || in_flight_) {
+      const uint64_t t0 = NowNs();
+      while (!queue_.empty() || in_flight_) cv_.Wait(&mu_);
+      waited = NowNs() - t0;
+    }
+  }
+  MaybeJournalStall(where, waited);
+}
+
+void WriteBehindQueue::MaybeJournalStall(const char* where,
+                                         uint64_t waited_ns) const {
+  if (waited_ns <= stall_warn_ns_) return;
+  EventJournal::Global().Append(
+      "pipeline.stall", "", -1,
+      {{"queue", "writebehind"},
+       {"where", where},
+       {"waited_ms", std::to_string(waited_ns / 1000000)}});
+}
+
+void WriteBehindQueue::WorkerLoop() {
+  for (;;) {
+    Job job;
+    bool skip = false;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // stop_ with nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+      // A failed ticket stops writing, the way a synchronous writer stops
+      // appending after its first error.
+      skip = !job.ticket->error.ok();
+    }
+    Status s = skip ? Status::OK() : job.fn();
+    {
+      MutexLock lock(&mu_);
+      queue_bytes_ -= job.bytes;
+      queue_bytes_mirror_.store(queue_bytes_, std::memory_order_relaxed);
+      in_flight_ = false;
+      --job.ticket->pending;
+      if (!s.ok() && job.ticket->error.ok()) job.ticket->error = std::move(s);
+      cv_.NotifyAll();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OverlapRuntime
+
+OverlapRuntime::OverlapRuntime(size_t writebehind_budget_bytes,
+                               uint64_t stall_warn_ns)
+    : stall_warn_ns_(stall_warn_ns),
+      writebehind_(writebehind_budget_bytes, stall_warn_ns) {}
+
+void OverlapRuntime::PublishMetrics(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->GetGauge("pregelix.io.prefetch_hits")
+      ->Set(static_cast<int64_t>(prefetch_.hits()));
+  registry->GetGauge("pregelix.io.prefetch_wasted")
+      ->Set(static_cast<int64_t>(prefetch_.wasted()));
+  registry->GetGauge("pregelix.io.writebehind_queue_bytes")
+      ->Set(static_cast<int64_t>(writebehind_.queue_bytes()));
+  registry->GetGauge("pregelix.io.writebehind_stalls")
+      ->Set(static_cast<int64_t>(writebehind_.stall_count()));
+}
+
+}  // namespace pregelix

@@ -1,0 +1,187 @@
+#ifndef PREGELIX_IO_OVERLAP_H_
+#define PREGELIX_IO_OVERLAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+// I/O / compute overlap layer (DESIGN.md §19 "Overlapped pipeline").
+//
+// Two small background workers owned by the SimulatedCluster (never
+// process-global):
+//
+//  - PrefetchPool: one thread servicing read-ahead requests for
+//    RunFileReader, so the loser-tree merge and the Msg-relation scan refill
+//    the next block while the consumer is still chewing on the previous one.
+//
+//  - WriteBehindQueue: one thread draining a bounded, byte-budgeted FIFO of
+//    append jobs for RunFileWriter (sort spills, checkpoint snapshots,
+//    channel materializations) and LSM component flushes. Per-client
+//    Tickets order completion: WaitTicket() is the per-file drain barrier
+//    every commit point (checkpoint MANIFEST, LSM CURRENT) sits behind, and
+//    Drain() is the whole-queue barrier the checkpoint manifest write takes
+//    belt-and-suspenders.
+//
+// Lock ranks: kOverlapPrefetch (22) and kOverlapWriteBehind (24) sit above
+// kChannel (20) because FrameChannel spills enqueue/await under its own
+// lock. The workers drop the queue lock before touching files, so fault
+// injection (60) and metrics (70) never nest under an overlap lock the
+// foreground also holds.
+//
+// A drain that blocks longer than the stall-warn window journals a
+// `pipeline.stall` event (DESIGN.md §15).
+
+namespace pregelix {
+
+class MetricsRegistry;
+
+/// Background read-ahead worker. Each reader owns one Slot; the closure it
+/// schedules performs the actual read into reader-owned buffers, so the
+/// pool never touches file state itself.
+class PrefetchPool {
+ public:
+  /// Per-reader request state. All fields are guarded by the pool mutex;
+  /// the owning reader must Cancel() (or Await()) before destroying it.
+  struct Slot {
+    enum class State { kIdle, kQueued, kRunning, kReady };
+    State state = State::kIdle;
+    std::function<Status()> fn;
+    Status status;
+  };
+
+  PrefetchPool();
+  ~PrefetchPool();
+
+  PrefetchPool(const PrefetchPool&) = delete;
+  PrefetchPool& operator=(const PrefetchPool&) = delete;
+
+  /// Queues a read-ahead. The slot must be kIdle.
+  void Schedule(Slot* slot, std::function<Status()> fn);
+
+  /// Blocks until the slot's request completes, returns its status, and
+  /// resets the slot to kIdle. A request already kReady on entry counts as
+  /// a prefetch hit; `*wait_ns` (optional) receives the ns spent blocked.
+  Status Await(Slot* slot, uint64_t* wait_ns = nullptr);
+
+  /// Abandons an outstanding or completed request (counts it as wasted).
+  /// Blocks only if the request is mid-read on the worker. No-op on kIdle.
+  void Cancel(Slot* slot);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t wasted() const { return wasted_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop();
+
+  mutable Mutex mu_{"overlap_prefetch", LockRank::kOverlapPrefetch};
+  CondVar cv_;
+  std::deque<Slot*> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> wasted_{0};
+  std::thread worker_;
+};
+
+/// Background write-behind worker: a byte-budgeted FIFO of append/flush
+/// jobs. One thread preserves per-file write order; per-client Tickets
+/// latch the first error (later jobs on a failed ticket are skipped, the
+/// way a synchronous writer stops appending after an error).
+class WriteBehindQueue {
+ public:
+  /// Per-client completion tracker. Guarded by the queue mutex; the owner
+  /// must WaitTicket() before destroying it or anything its jobs touch.
+  struct Ticket {
+    uint64_t pending = 0;
+    Status error;
+  };
+
+  WriteBehindQueue(size_t budget_bytes, uint64_t stall_warn_ns);
+  ~WriteBehindQueue();
+
+  WriteBehindQueue(const WriteBehindQueue&) = delete;
+  WriteBehindQueue& operator=(const WriteBehindQueue&) = delete;
+
+  /// Queues a job owning `bytes` of the byte budget. Blocks while the queue
+  /// is over budget (a write-behind stall; counted, and added to
+  /// `*stall_ns` if given) — except that an oversized job is admitted alone
+  /// so budgets smaller than one block cannot wedge. `fn` runs on the
+  /// worker thread; its status latches into the ticket.
+  void Enqueue(Ticket* ticket, size_t bytes, std::function<Status()> fn,
+               uint64_t* stall_ns = nullptr);
+
+  /// Blocks until every job enqueued against `ticket` has completed, then
+  /// returns-and-clears the ticket's first error. The per-file drain
+  /// barrier. `*wait_ns` (optional) receives the ns spent blocked.
+  Status WaitTicket(Ticket* ticket, uint64_t* wait_ns = nullptr);
+
+  /// Blocks until the whole queue is empty and no job is in flight — the
+  /// commit-point barrier. Job errors stay latched in their tickets.
+  /// `where` names the barrier in the `pipeline.stall` journal event.
+  void Drain(const char* where);
+
+  uint64_t queue_bytes() const {
+    return queue_bytes_mirror_.load(std::memory_order_relaxed);
+  }
+  uint64_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+  /// Journals `pipeline.stall` if `waited_ns` exceeds the warn window.
+  void MaybeJournalStall(const char* where, uint64_t waited_ns) const;
+
+  const size_t budget_;
+  const uint64_t stall_warn_ns_;
+  mutable Mutex mu_{"overlap_writebehind", LockRank::kOverlapWriteBehind};
+  CondVar cv_;
+  struct Job {
+    Ticket* ticket = nullptr;
+    size_t bytes = 0;
+    std::function<Status()> fn;
+  };
+  std::deque<Job> queue_ GUARDED_BY(mu_);
+  size_t queue_bytes_ GUARDED_BY(mu_) = 0;
+  bool in_flight_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> queue_bytes_mirror_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::thread worker_;
+};
+
+/// The overlap runtime a SimulatedCluster owns when `ClusterConfig::overlap`
+/// is enabled: the prefetch pool, the write-behind queue, and the
+/// observability glue. Consumers receive a nullable OverlapRuntime* — null
+/// means strictly synchronous I/O (the phase-serial baseline).
+class OverlapRuntime {
+ public:
+  /// `stall_warn_ns` is the drain watchdog window: a barrier blocking
+  /// longer journals `pipeline.stall`.
+  explicit OverlapRuntime(size_t writebehind_budget_bytes,
+                          uint64_t stall_warn_ns = 500'000'000);
+
+  PrefetchPool& prefetch() { return prefetch_; }
+  WriteBehindQueue& writebehind() { return writebehind_; }
+  uint64_t stall_warn_ns() const { return stall_warn_ns_; }
+
+  /// Sets the pregelix.io.* gauges from the live counters (called from
+  /// SimulatedCluster::PublishMetrics).
+  void PublishMetrics(MetricsRegistry* registry) const;
+
+ private:
+  const uint64_t stall_warn_ns_;
+  PrefetchPool prefetch_;
+  WriteBehindQueue writebehind_;
+};
+
+}  // namespace pregelix
+
+#endif  // PREGELIX_IO_OVERLAP_H_
