@@ -4,6 +4,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/time_ledger.h"
 
 namespace pregelix {
 
@@ -152,6 +153,8 @@ Status BufferCache::DeleteFile(int file_id) {
 
 Status BufferCache::SettleReadAheadLocked(FileEntry& entry) {
   if (entry.ahead == nullptr || !entry.ahead->valid) return Status::OK();
+  // Ledger: blocked on a background read completing — io_wait (§20).
+  ScopedTimeCategory io_wait(TimeCategory::kIoWait);
   Status s = overlap_->prefetch().Await(&entry.ahead->slot);
   entry.ahead->valid = false;
   return s;
@@ -269,7 +272,12 @@ Status BufferCache::PinExistingOrLoadLocked(int file_id, PageId page,
       bool satisfied = false;
       if (entry.ahead != nullptr && entry.ahead->valid) {
         ReadAhead& ahead = *entry.ahead;
-        const Status as = overlap_->prefetch().Await(&ahead.slot);
+        Status as;
+        {
+          // Ledger: park on the in-flight read-ahead — io_wait (§20).
+          ScopedTimeCategory io_wait(TimeCategory::kIoWait);
+          as = overlap_->prefetch().Await(&ahead.slot);
+        }
         ahead.valid = false;
         if (ahead.page == page) {
           if (!as.ok()) {

@@ -1,12 +1,15 @@
 #include "common/mutex.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
 #include <vector>
+
+#include "common/time_ledger.h"
 
 namespace pregelix {
 
@@ -211,7 +214,15 @@ std::vector<std::string> HeldLocksForTest() {
 
 void Mutex::lock() {
   if (lock_order::Enabled()) lock_order::CheckAcquire(this);
-  mu_.lock();
+  // Contention accounting (DESIGN.md §20): the rank/cycle checks above run
+  // unconditionally; only the *contended* slow path pays two clock reads.
+  // ChargeLockWait is inert on threads not attached to the time ledger, and
+  // the ledger itself never takes a pregelix::Mutex, so this cannot recurse.
+  if (!mu_.try_lock()) {
+    const uint64_t wait_start_ns = TimeLedger::NowNs();
+    mu_.lock();
+    TimeLedger::ChargeLockWait(name_, TimeLedger::NowNs() - wait_start_ns);
+  }
   auto& held = lock_order::tls_held;
   if (held.alive) held.stack.push_back(this);
 }

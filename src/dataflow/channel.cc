@@ -4,6 +4,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/time_ledger.h"
 
 namespace pregelix {
 
@@ -31,15 +32,22 @@ Status FrameChannel::Put(std::string frame) {
     if (spill_writer_ == nullptr) {
       PREGELIX_RETURN_NOT_OK(RunFileWriter::Open(spill_path_, spill_metrics_,
                                                  overlap_, &spill_writer_));
+      // Spill waits are part of the connector transfer, not storage-layer
+      // I/O waits, so the ledger files them under shuffle_wait (§20).
+      spill_writer_->set_wait_category(TimeCategory::kShuffleWait);
     }
     ++frames_;
     return spill_writer_->AppendBlock(frame);
   }
-  while (queue_.size() >= capacity_) {
-    if (abort_ != nullptr && abort_->load()) {
-      return Status::Aborted("job aborted");
+  {
+    // Backpressure park: receiver is behind. Time ledger: shuffle_wait.
+    ScopedTimeCategory shuffle_wait(TimeCategory::kShuffleWait);
+    while (queue_.size() >= capacity_) {
+      if (abort_ != nullptr && abort_->load()) {
+        return Status::Aborted("job aborted");
+      }
+      cv_.WaitFor(&mutex_, kAbortPollInterval);
     }
-    cv_.WaitFor(&mutex_, kAbortPollInterval);
   }
   queue_.push_back(std::move(frame));
   ++frames_;
@@ -74,10 +82,13 @@ bool FrameChannel::Get(std::string* frame) {
     }
   }
   if (policy_ == Policy::kSenderMaterialize) {
-    // Wait for all senders, then stream the spill file.
-    while (!AllSendersDone()) {
-      if (abort_ != nullptr && abort_->load()) return false;
-      cv_.WaitFor(&mutex_, kAbortPollInterval);
+    {
+      // Park until every sender closed. Time ledger: shuffle_wait.
+      ScopedTimeCategory shuffle_wait(TimeCategory::kShuffleWait);
+      while (!AllSendersDone()) {
+        if (abort_ != nullptr && abort_->load()) return false;
+        cv_.WaitFor(&mutex_, kAbortPollInterval);
+      }
     }
     if (spill_writer_ == nullptr) return false;  // nothing was sent
     if (spill_reader_ == nullptr) {
@@ -89,6 +100,7 @@ bool FrameChannel::Get(std::string* frame) {
         if (abort_ != nullptr) abort_->store(true);
         return false;
       }
+      spill_reader_->set_wait_category(TimeCategory::kShuffleWait);
     }
     Status s = spill_reader_->NextBlock(frame);
     if (s.IsNotFound()) {
@@ -104,6 +116,9 @@ bool FrameChannel::Get(std::string* frame) {
     }
     return fault_status_.ok();
   }
+  // Receive park (pipelined): the pop itself is trivial, so the whole loop
+  // counts as shuffle_wait — virtually all of it is the cv_ wait.
+  ScopedTimeCategory shuffle_wait(TimeCategory::kShuffleWait);
   for (;;) {
     if (!queue_.empty()) {
       *frame = std::move(queue_.front());

@@ -10,6 +10,7 @@
 #include "common/mutex.h"
 #include "common/metrics_registry.h"
 #include "common/temp_dir.h"
+#include "common/time_ledger.h"
 #include "common/trace.h"
 #include "dataflow/channel.h"
 #include "dataflow/frame.h"
@@ -485,6 +486,12 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
   for (Task& task : tasks) {
     threads.emplace_back([&cluster, &spec, &task, &abort, &status_mutex,
                           &first_error]() {
+      // Time ledger (DESIGN.md §20): the whole task thread is attributed,
+      // base category compute, labeled with the operator name so the
+      // category×operator hierarchy (and the per-operator io_wait family)
+      // can be rebuilt from the cells.
+      TimeLedger::AttachCurrentThread(task.ctx->worker, TimeCategory::kCompute,
+                                      spec.ops()[task.op].descriptor->name());
       Status s;
       {
         // One span per operator activation; carries the worker counter
@@ -532,9 +539,15 @@ Status RunJob(SimulatedCluster& cluster, const JobSpec& spec,
         }
         abort.store(true);
       }
+      TimeLedger::DetachCurrentThread();
     });
   }
-  for (std::thread& t : threads) t.join();
+  {
+    // The caller (superstep driver or a nested checkpoint/load run) spends
+    // the whole job parked on this join: the superstep barrier.
+    ScopedTimeCategory barrier(TimeCategory::kBarrierWait);
+    for (std::thread& t : threads) t.join();
+  }
 
   // A failed receive (injected channel.recv fault or spill read error) makes
   // Get return false, which a task cannot distinguish from end-of-stream.

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/serde.h"
+#include "common/time_ledger.h"
 #include "dataflow/operator.h"
 #include "dataflow/plan_profile.h"
 #include "io/file.h"
@@ -183,6 +184,9 @@ Status MergeCursors(std::vector<std::unique_ptr<RunCursor>>& cursors,
                     int key_field, const GroupCombiner& combiner,
                     bool apply_finish, WorkerMetrics* metrics,
                     const TupleEmitFn& emit) {
+  // Time ledger: the k-way merge (and its combine fold) is the merge
+  // phase; nested I/O scopes in the run-file/file layers suspend it.
+  ScopedTimeCategory merge(TimeCategory::kMerge);
   uint64_t tuples = 0;
   LoserTree tree(cursors, key_field);
   tree.Init();
@@ -431,6 +435,7 @@ Slice ExternalSortGrouper::EntryKey(const Entry& e) const {
 }
 
 void ExternalSortGrouper::SortBatch() {
+  ScopedTimeCategory sort(TimeCategory::kSort);
   // The cached normalized prefixes settle the vast majority of comparisons
   // with one integer compare; a tie implies the first 8 key bytes match and
   // only then is the key re-decoded from the pool. Same ordering as a full
@@ -458,6 +463,10 @@ void ExternalSortGrouper::SortBatch() {
 
 Status ExternalSortGrouper::DrainBatchSorted(const TupleEmitFn& fn) {
   SortBatch();
+  // Combine/emit drain: group_by when combining, sort otherwise (the drain
+  // is then just the tail of the sort kernel).
+  ScopedTimeCategory drain(combiner_.valid() ? TimeCategory::kGroupBy
+                                             : TimeCategory::kSort);
   const int field_count = config_.field_count;
   const bool norm_decides = batch_key_size_ >= 0;
   const size_t tuples = entries_.size();
@@ -665,6 +674,7 @@ Status HashSortGrouper::Add(std::span<const Slice> fields) {
 }
 
 void HashSortGrouper::SortedOrder(std::vector<uint32_t>* order) const {
+  ScopedTimeCategory sort(TimeCategory::kSort);
   order->resize(groups_.size());
   if (uniform_key_size_ >= 0) {
     // One key width ≤ 8 bytes across the (deduped) table means the cached
@@ -736,6 +746,7 @@ void HashSortGrouper::ReleaseTable() {
 
 Status HashSortGrouper::EmitTable(const TupleEmitFn& emit) {
   if (groups_.empty()) return Status::OK();
+  ScopedTimeCategory group_by(TimeCategory::kGroupBy);
   if (config_.profile != nullptr) {
     config_.profile->UpdateMemHwm(TableBytes());
   }
@@ -774,6 +785,7 @@ Status HashSortGrouper::Finish(const TupleEmitFn& emit) {
     return internal_sort::MergeRuns(config_, combiner_, std::move(runs), emit);
   }
   if (run_paths_.empty()) {
+    ScopedTimeCategory group_by(TimeCategory::kGroupBy);
     std::vector<uint32_t> order;
     SortedOrder(&order);
     std::string acc;

@@ -10,6 +10,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/time_ledger.h"
 
 namespace pregelix {
 
@@ -68,6 +69,7 @@ Status WritableFile::Append(const Slice& data) {
   PREGELIX_RETURN_NOT_OK(FlushBuffer());
   if (data.size() >= kWriteBufferSize) {
     // Large write: go straight to the kernel.
+    ScopedTimeCategory io_write(TimeCategory::kIoWrite);
     size_t allowed = data.size();
     Status injected = fault::MaybeFailWrite("io.file.write", &allowed);
     PREGELIX_RETURN_NOT_OK(WriteFully(fd_, data.data(), allowed, path_));
@@ -81,6 +83,7 @@ Status WritableFile::Append(const Slice& data) {
 
 Status WritableFile::FlushBuffer() {
   if (buffer_.empty()) return Status::OK();
+  ScopedTimeCategory io_write(TimeCategory::kIoWrite);
   size_t allowed = buffer_.size();
   Status injected = fault::MaybeFailWrite("io.file.write", &allowed);
   PREGELIX_RETURN_NOT_OK(WriteFully(fd_, buffer_.data(), allowed, path_));
@@ -133,6 +136,7 @@ RandomAccessFile::~RandomAccessFile() { ::close(fd_); }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
   PREGELIX_RETURN_NOT_OK(fault::MaybeFail("io.file.read"));
+  ScopedTimeCategory io_read(TimeCategory::kIoRead);
   size_t done = 0;
   while (done < n) {
     ssize_t r = ::pread(fd_, scratch + done, n - done,
@@ -152,6 +156,7 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
 }
 
 Status RandomAccessFile::Write(uint64_t offset, const Slice& data) {
+  ScopedTimeCategory io_write(TimeCategory::kIoWrite);
   size_t allowed = data.size();
   Status injected = fault::MaybeFailWrite("io.file.pwrite", &allowed);
   size_t done = 0;

@@ -6,6 +6,7 @@
 #include "common/event_journal.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/time_ledger.h"
 
 namespace pregelix {
 
@@ -90,19 +91,30 @@ void PrefetchPool::Cancel(Slot* slot) {
 }
 
 void PrefetchPool::WorkerLoop() {
+  // Time ledger (DESIGN.md §20): background workers attribute queue parks
+  // to idle and the read jobs themselves to io_read.
+  TimeLedger::AttachCurrentThread(TimeLedger::kOverlapWorker,
+                                  TimeCategory::kIdle, "overlap.prefetch");
   for (;;) {
     Slot* slot = nullptr;
     std::function<Status()> fn;
     {
       MutexLock lock(&mu_);
       while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
-      if (queue_.empty()) return;  // stop_ with nothing left
+      if (queue_.empty()) {
+        TimeLedger::DetachCurrentThread();
+        return;  // stop_ with nothing left
+      }
       slot = queue_.front();
       queue_.pop_front();
       slot->state = Slot::State::kRunning;
       fn = slot->fn;  // run outside the lock
     }
-    Status s = fn();
+    Status s;
+    {
+      ScopedTimeCategory io_read(TimeCategory::kIoRead);
+      s = fn();
+    }
     {
       MutexLock lock(&mu_);
       slot->status = std::move(s);
@@ -191,13 +203,19 @@ void WriteBehindQueue::MaybeJournalStall(const char* where,
 }
 
 void WriteBehindQueue::WorkerLoop() {
+  // Time ledger (DESIGN.md §20): parks are idle, flush jobs io_write.
+  TimeLedger::AttachCurrentThread(TimeLedger::kOverlapWorker,
+                                  TimeCategory::kIdle, "overlap.writebehind");
   for (;;) {
     Job job;
     bool skip = false;
     {
       MutexLock lock(&mu_);
       while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
-      if (queue_.empty()) return;  // stop_ with nothing left
+      if (queue_.empty()) {
+        TimeLedger::DetachCurrentThread();
+        return;  // stop_ with nothing left
+      }
       job = std::move(queue_.front());
       queue_.pop_front();
       in_flight_ = true;
@@ -205,7 +223,11 @@ void WriteBehindQueue::WorkerLoop() {
       // appending after its first error.
       skip = !job.ticket->error.ok();
     }
-    Status s = skip ? Status::OK() : job.fn();
+    Status s;
+    {
+      ScopedTimeCategory io_write(TimeCategory::kIoWrite);
+      s = skip ? Status::OK() : job.fn();
+    }
     {
       MutexLock lock(&mu_);
       queue_bytes_ -= job.bytes;

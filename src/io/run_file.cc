@@ -7,6 +7,29 @@
 
 namespace pregelix {
 
+namespace {
+
+/// Reattributes the overlap-wait delta measured into `*counter` across one
+/// blocking call (DESIGN.md §20). The wait interval was already spent in the
+/// caller's current ledger category; moving exactly the measured nanoseconds
+/// keeps the ledger's wait bucket equal to the profiled io_wait_ns.
+class WaitReattribution {
+ public:
+  WaitReattribution(const uint64_t* counter, TimeCategory to)
+      : counter_(counter), before_(*counter), to_(to) {}
+  ~WaitReattribution() {
+    const uint64_t delta = *counter_ - before_;
+    if (delta > 0) TimeLedger::Reattribute(to_, delta);
+  }
+
+ private:
+  const uint64_t* counter_;
+  const uint64_t before_;
+  const TimeCategory to_;
+};
+
+}  // namespace
+
 Status RunFileWriter::Open(const std::string& path, WorkerMetrics* metrics,
                            OverlapRuntime* overlap,
                            std::unique_ptr<RunFileWriter>* out) {
@@ -43,6 +66,7 @@ Status RunFileWriter::AppendBlock(const Slice& block) {
     const size_t bytes = buf.size();
     WritableFile* file = file_.get();
     WorkerMetrics* metrics = metrics_;
+    WaitReattribution reattr(&io_wait_ns_, wait_category_);
     overlap_->writebehind().Enqueue(
         &ticket_, bytes,
         [file, metrics, buf = std::move(buf)]() -> Status {
@@ -72,6 +96,7 @@ Status RunFileWriter::Finish() {
     // Per-file drain barrier: every queued block is on disk (or failed)
     // before Close — commit points that size/checksum/rename this file
     // (checkpoint snapshots, channel spills) stay exact.
+    WaitReattribution reattr(&io_wait_ns_, wait_category_);
     PREGELIX_RETURN_NOT_OK(
         overlap_->writebehind().WaitTicket(&ticket_, &io_wait_ns_));
   }
@@ -138,7 +163,11 @@ Status RunFileReader::NextBlock(std::string* out) {
     CancelPrefetch();  // stale (e.g. after Reset): re-issue at offset_
     IssuePrefetch();
   }
-  Status s = overlap_->prefetch().Await(&slot_, &io_wait_ns_);
+  Status s;
+  {
+    WaitReattribution reattr(&io_wait_ns_, wait_category_);
+    s = overlap_->prefetch().Await(&slot_, &io_wait_ns_);
+  }
   ahead_valid_ = false;
   PREGELIX_RETURN_NOT_OK(s);
   out->swap(ahead_);

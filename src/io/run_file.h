@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/time_ledger.h"
 #include "io/file.h"
 #include "io/overlap.h"
 
@@ -48,6 +49,12 @@ class RunFileWriter {
   /// (budget stalls + the Finish drain). 0 in synchronous mode.
   uint64_t io_wait_ns() const { return io_wait_ns_; }
 
+  /// Time-ledger category the measured overlap waits are reattributed to
+  /// (DESIGN.md §20). Default io_wait, which keeps the ledger bucket equal
+  /// to io_wait_ns(); channel spills set shuffle_wait because the park is
+  /// part of the connector transfer, not a storage-layer wait.
+  void set_wait_category(TimeCategory c) { wait_category_ = c; }
+
  private:
   RunFileWriter(std::unique_ptr<WritableFile> file, WorkerMetrics* metrics,
                 OverlapRuntime* overlap)
@@ -61,6 +68,7 @@ class RunFileWriter {
   uint64_t num_blocks_ = 0;
   uint64_t bytes_appended_ = 0;
   uint64_t io_wait_ns_ = 0;
+  TimeCategory wait_category_ = TimeCategory::kIoWait;
 };
 
 /// Sequential reader over a run file.
@@ -86,6 +94,9 @@ class RunFileReader {
   /// Foreground ns this reader spent blocked waiting for a prefetched
   /// block. 0 in synchronous mode.
   uint64_t io_wait_ns() const { return io_wait_ns_; }
+
+  /// See RunFileWriter::set_wait_category.
+  void set_wait_category(TimeCategory c) { wait_category_ = c; }
 
  private:
   RunFileReader(std::unique_ptr<RandomAccessFile> file, WorkerMetrics* metrics,
@@ -115,6 +126,7 @@ class RunFileReader {
   std::string ahead_;
   uint64_t ahead_next_ = 0;
   uint64_t io_wait_ns_ = 0;
+  TimeCategory wait_category_ = TimeCategory::kIoWait;
 };
 
 }  // namespace pregelix

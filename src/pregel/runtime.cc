@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/retry.h"
 #include "common/temp_dir.h"
+#include "common/time_ledger.h"
 #include "common/trace.h"
 #include "dataflow/executor.h"
 #include "io/file.h"
@@ -48,6 +49,21 @@ MetricsSnapshot Sum(const std::vector<MetricsSnapshot>& deltas) {
   MetricsSnapshot total;
   for (const MetricsSnapshot& d : deltas) total += d;
   return total;
+}
+
+/// Compact "category=ns;..." rendering of a per-superstep ledger delta for
+/// the superstep.end journal event; empty when every bucket is zero.
+std::string LedgerDeltaString(
+    const std::array<int64_t, kNumTimeCategories>& delta) {
+  std::string out;
+  for (int c = 0; c < kNumTimeCategories; ++c) {
+    if (delta[c] == 0) continue;
+    if (!out.empty()) out += ";";
+    out += kTimeCategoryNames[c];
+    out += "=";
+    out += std::to_string(delta[c]);
+  }
+  return out;
 }
 
 std::string GsPath(const JobRuntimeContext& ctx) {
@@ -106,8 +122,14 @@ Status PregelixRuntime::Run(PregelProgram* program,
           : config.job_id;
   ctx.partitions.resize(cluster_->num_partitions());
   PublishJobStart(ctx, config.name);
+  // Time ledger (DESIGN.md §20): the driver thread is attributed for the
+  // whole job. Attach can refuse (already attached by an enclosing job or
+  // the ledger is disabled); only a successful attach detaches.
+  const bool ledger_attached = TimeLedger::AttachCurrentThread(
+      TimeLedger::kDriverWorker, TimeCategory::kCompute, "driver");
   Status s = RunInternal(program, config, &ctx, /*do_load=*/true,
                          /*do_dump=*/!config.output_dir.empty(), result);
+  if (ledger_attached) TimeLedger::DetachCurrentThread();
   PublishJobFinish(ctx, s);
   // A failed job keeps its DFS state (GS + checkpoints): with a stable
   // job_id, a later Run with resume=true picks up from the newest valid
@@ -272,6 +294,11 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
                         trace_cat::kPregel, kTraceDriverWorker);
     const std::vector<MetricsSnapshot> before = cluster_->SnapshotAll();
     const std::pair<uint64_t, uint64_t> cache_before = cache_counts();
+    // Time-ledger delta for this superstep (DESIGN.md §20). Snapshots fold
+    // in-flight time of attached threads, so the delta is a faithful
+    // per-superstep attribution up to one in-flight interval of jitter.
+    const std::array<int64_t, kNumTimeCategories> ledger_before =
+        TimeLedger::Global().TakeSnapshot().category_ns;
     const double step_wall = WallSeconds();
     // Resolve (and publish: fault point, journal, metrics, /jobs/<id>) the
     // physical plan before generating the superstep job. BuildSuperstepJob
@@ -379,6 +406,11 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
       brief.spill_count = stats.spill_count;
       brief.left_outer_join = stats.used_left_outer_join;
       brief.plan = PlanDecisionString(plan_record.plan);
+      const std::array<int64_t, kNumTimeCategories> ledger_after =
+          TimeLedger::Global().TakeSnapshot().category_ns;
+      for (int c = 0; c < kNumTimeCategories; ++c) {
+        brief.ledger_ns[c] = ledger_after[c] - ledger_before[c];
+      }
       std::string profile_json;
       if (cumulative != nullptr) {
         std::ostringstream pos;
@@ -387,17 +419,21 @@ Status PregelixRuntime::RunInternal(PregelProgram* program,
       }
       server::JobStatusRegistry::Global().OnSuperstep(
           ctx->job_id, brief, std::move(profile_json));
-      EventJournal::Global().Append(
-          "superstep.end", ctx->job_id, superstep,
-          {{"live", std::to_string(stats.live_vertices)},
-           {"messages", std::to_string(stats.messages)},
-           {"wall_ms",
-            std::to_string(static_cast<int64_t>(stats.wall_seconds * 1e3))},
-           {"shuffled_bytes", std::to_string(stats.bytes_shuffled)},
-           {"spills", std::to_string(stats.spill_count)},
-           {"join",
-            stats.used_left_outer_join ? "left-outer" : "full-outer"},
-           {"plan", PlanDecisionString(plan_record.plan)}});
+      std::vector<std::pair<std::string, std::string>> step_kv = {
+          {"live", std::to_string(stats.live_vertices)},
+          {"messages", std::to_string(stats.messages)},
+          {"wall_ms",
+           std::to_string(static_cast<int64_t>(stats.wall_seconds * 1e3))},
+          {"shuffled_bytes", std::to_string(stats.bytes_shuffled)},
+          {"spills", std::to_string(stats.spill_count)},
+          {"join", stats.used_left_outer_join ? "left-outer" : "full-outer"},
+          {"plan", PlanDecisionString(plan_record.plan)}};
+      const std::string ledger_delta = LedgerDeltaString(brief.ledger_ns);
+      if (!ledger_delta.empty()) {
+        step_kv.emplace_back("ledger_ns", ledger_delta);
+      }
+      EventJournal::Global().Append("superstep.end", ctx->job_id, superstep,
+                                    std::move(step_kv));
     }
 
     // Close the superstep span carrying the SuperstepStats the runtime just
@@ -508,6 +544,10 @@ Status PregelixRuntime::AdvanceGlobalState(JobRuntimeContext* ctx) {
 
 Status PregelixRuntime::WriteCheckpoint(JobRuntimeContext* ctx,
                                         int64_t superstep) {
+  // Ledger: driver-side checkpoint bookkeeping. The snapshot job's task
+  // threads attach independently; the driver's share (manifest, GS write,
+  // the join barrier of the snapshot job) lands in checkpoint.
+  ScopedTimeCategory checkpoint(TimeCategory::kCheckpoint);
   // The snapshot ops only read runtime state and write checkpoint files
   // (installed via temp + rename), so the whole sequence can be retried on
   // transient faults. The MANIFEST is written last: it is the commit
@@ -637,6 +677,8 @@ Status PregelixRuntime::ValidateCheckpoint(JobRuntimeContext* ctx,
 Status PregelixRuntime::Recover(JobRuntimeContext* ctx,
                                 int64_t* resume_superstep,
                                 bool* restart_from_load) {
+  // Ledger: recovery is checkpoint-path work (validation, state rebuild).
+  ScopedTimeCategory checkpoint(TimeCategory::kCheckpoint);
   // List the checkpoints this job left on the DFS (newest first). Listing —
   // rather than counting down from the in-memory GS — lets a fresh driver
   // process resume a job whose in-memory state is gone.
@@ -715,6 +757,8 @@ Status PregelixRuntime::RunPipeline(
                std::to_string(g_job_counter.fetch_add(1));
   ctx.partitions.resize(cluster_->num_partitions());
   PublishJobStart(ctx, jobs[0].second.name + "-pipeline");
+  const bool ledger_attached = TimeLedger::AttachCurrentThread(
+      TimeLedger::kDriverWorker, TimeCategory::kCompute, "driver");
 
   Status status;
   for (size_t j = 0; j < jobs.size(); ++j) {
@@ -735,6 +779,7 @@ Status PregelixRuntime::RunPipeline(
                          &(*results)[j]);
     if (!status.ok()) break;
   }
+  if (ledger_attached) TimeLedger::DetachCurrentThread();
   PublishJobFinish(ctx, status);
   Cleanup(&ctx);
   return status;

@@ -36,6 +36,16 @@ StallWatchdog::~StallWatchdog() {
   }
   cv_.NotifyAll();
   thread_.join();
+  // Terminal balance check: a stall journaled for a superstep that never
+  // reached Disarm (the driver unwound on an error mid-superstep) would
+  // otherwise leave /events replays with an unpaired "watchdog.stall".
+  MutexLock lock(&mutex_);
+  if (stalls_journaled_ > clears_journaled_ && !job_id_.empty()) {
+    EventJournal::Global().Append(
+        "watchdog.unresolved", job_id_, superstep_,
+        {{"unresolved",
+          std::to_string(stalls_journaled_ - clears_journaled_)}});
+  }
 }
 
 uint64_t StallWatchdog::TrailingMeanNs() const {
@@ -72,6 +82,7 @@ void StallWatchdog::Disarm(uint64_t wall_ns) {
     EventJournal::Global().Append(
         "watchdog.clear", job_id_, superstep_,
         {{"wall_ms", std::to_string(wall_ns / 1000000)}});
+    ++clears_journaled_;
   }
   armed_ = false;
   samples_.push_back(wall_ns);
@@ -84,6 +95,11 @@ void StallWatchdog::Disarm(uint64_t wall_ns) {
 int64_t StallWatchdog::stall_count() const {
   MutexLock lock(&mutex_);
   return stall_count_;
+}
+
+int64_t StallWatchdog::unresolved_count() const {
+  MutexLock lock(&mutex_);
+  return stalls_journaled_ - clears_journaled_;
 }
 
 void StallWatchdog::Loop() {
@@ -111,6 +127,7 @@ void StallWatchdog::Loop() {
           "watchdog.stall", job_id_, superstep_,
           {{"trailing_mean_ms", std::to_string(TrailingMeanNs() / 1000000)},
            {"factor", std::to_string(factor_)}});
+      ++stalls_journaled_;
       server::JobStatusRegistry::Global().OnStall(job_id_, superstep_);
     }
     PLOG(Warn) << "stall watchdog [" << job_name_ << "]: superstep "

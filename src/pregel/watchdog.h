@@ -25,6 +25,12 @@ namespace pregelix {
 /// Arming is a no-op until three samples exist (the mean is meaningless
 /// earlier) or when `factor <= 0` (disabled). One instance serves one
 /// driver loop; Arm/Disarm bracket each superstep.
+///
+/// Every journaled "watchdog.stall" is guaranteed a terminal partner: the
+/// flagged superstep's Disarm emits "watchdog.clear", and a stall whose
+/// superstep never disarms (the driver unwound on an error between Arm and
+/// Disarm) is closed out by the destructor with "watchdog.unresolved" — an
+/// /events replay can always pair every stall with its outcome.
 class StallWatchdog {
  public:
   /// `registry` may be null (no metrics surfaced, log only). A non-empty
@@ -46,6 +52,9 @@ class StallWatchdog {
 
   /// Supersteps flagged so far (test hook).
   int64_t stall_count() const;
+  /// Journaled stalls that have not (yet) been paired with a clear; the
+  /// destructor journals "watchdog.unresolved" when this is non-zero.
+  int64_t unresolved_count() const;
 
  private:
   void Loop();
@@ -66,6 +75,10 @@ class StallWatchdog {
   std::chrono::steady_clock::time_point deadline_ GUARDED_BY(mutex_);
   std::vector<uint64_t> samples_ GUARDED_BY(mutex_);  ///< trailing window
   int64_t stall_count_ GUARDED_BY(mutex_) = 0;
+  /// Journal balance: stalls emitted vs clears emitted. Unequal at
+  /// destruction means a flagged superstep never disarmed.
+  int64_t stalls_journaled_ GUARDED_BY(mutex_) = 0;
+  int64_t clears_journaled_ GUARDED_BY(mutex_) = 0;
   std::thread thread_;
 };
 

@@ -276,6 +276,21 @@ bool JobStatusRegistry::WriteJobJson(const std::string& job_id,
       AppendJsonEscaped(os, b.plan);
       os << "\"";
     }
+    // Per-superstep time-ledger delta (DESIGN.md §20), non-zero categories
+    // only; absent entirely when the ledger was off for this superstep.
+    bool any_ledger = false;
+    for (int64_t ns : b.ledger_ns) any_ledger = any_ledger || ns != 0;
+    if (any_ledger) {
+      os << ",\"ledger_ns\":{";
+      bool first_cat = true;
+      for (int c = 0; c < kNumTimeCategories; ++c) {
+        if (b.ledger_ns[c] == 0) continue;
+        if (!first_cat) os << ",";
+        first_cat = false;
+        os << "\"" << kTimeCategoryNames[c] << "\":" << b.ledger_ns[c];
+      }
+      os << "}";
+    }
     os << "}";
   }
   os << "]";

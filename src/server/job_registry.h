@@ -1,6 +1,7 @@
 #ifndef PREGELIX_SERVER_JOB_REGISTRY_H_
 #define PREGELIX_SERVER_JOB_REGISTRY_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -10,6 +11,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/time_ledger.h"
 
 // Live job status for the observability server (DESIGN.md "Live
 // observability server").
@@ -43,6 +45,10 @@ struct SuperstepBrief {
   /// Resolved physical plan ("join/groupby/connector"); empty for briefs
   /// published by pre-plan phases (load).
   std::string plan;
+  /// Time-ledger delta across this superstep, per category (DESIGN.md §20).
+  /// All-zero when the ledger is disabled. Signed: a reattribution whose
+  /// wait straddles the superstep boundary can nudge a bucket negative.
+  std::array<int64_t, kNumTimeCategories> ledger_ns{};
 };
 
 enum class JobState { kRunning, kFinished, kFailed };

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/fault_injection.h"
+#include "common/time_ledger.h"
 
 namespace pregelix {
 namespace server {
@@ -31,6 +32,7 @@ constexpr const char* kEndpoints[] = {
     "/jobs",       // all tracked jobs, summary per job (JSON)
     "/jobs/<id>",  // one job: counters, recent supersteps, plan profile
     "/events",     // journal replay: ?since=<seq>, JSONL in seq order
+    "/profilez",   // time ledger: JSON, or ?format=collapsed flame stacks
 };
 
 void AppendJsonEscaped(std::ostream& os, const std::string& s) {
@@ -247,6 +249,10 @@ void ObservabilityServer::AcceptLoop() {
 }
 
 void ObservabilityServer::WorkerLoop() {
+  // Base category idle: a parked HTTP worker is idle, not serving; only the
+  // per-connection kServe scope below counts as request handling.
+  const bool attached = TimeLedger::AttachCurrentThread(
+      TimeLedger::kServerWorker, TimeCategory::kIdle, "http.worker");
   for (;;) {
     int fd = -1;
     {
@@ -254,10 +260,14 @@ void ObservabilityServer::WorkerLoop() {
       while (queue_.empty() && !shutting_down_) {
         queue_cv_.Wait(&mutex_);
       }
-      if (queue_.empty() && shutting_down_) return;
+      if (queue_.empty() && shutting_down_) {
+        if (attached) TimeLedger::DetachCurrentThread();
+        return;
+      }
       fd = queue_.front();
       queue_.pop_front();
     }
+    ScopedTimeCategory serve(TimeCategory::kServe);
     ServeConnection(fd);
   }
 }
@@ -379,6 +389,8 @@ HttpResponse ObservabilityServer::Dispatch(const HttpRequest& req) {
                : TextResponse(503, "not ready\n");
   } else if (req.path == "/metrics") {
     resp = HandleMetrics();
+  } else if (req.path == "/profilez") {
+    resp = HandleProfilez(req.query);
   } else if (req.path == "/statusz") {
     resp = HandleStatusz();
   } else if (req.path == "/jobs") {
@@ -402,12 +414,32 @@ HttpResponse ObservabilityServer::HandleMetrics() {
     hook = pre_scrape_hook_;
   }
   if (hook) hook();
+  // Refresh the ledger gauges before the registry writes, then append the
+  // ledger's own exposition (pregelix_time_seconds_total & friends) so one
+  // scrape carries both (DESIGN.md §20).
+  TimeLedger::Global().PublishMetrics(metrics_);
   std::ostringstream os;
   metrics_->WritePrometheus(os);
+  TimeLedger::Global().WritePrometheus(os);
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   resp.body = os.str();
   return resp;
+}
+
+HttpResponse ObservabilityServer::HandleProfilez(const std::string& query) {
+  const std::string format = QueryParam(query, "format");
+  std::ostringstream os;
+  if (format == "collapsed") {
+    // flamegraph.pl's collapsed-stack input: `worker;operator;category ns`.
+    TimeLedger::Global().WriteCollapsed(os);
+    return TextResponse(200, os.str());
+  }
+  if (!format.empty() && format != "json") {
+    return TextResponse(400, "bad format= value (json|collapsed)\n");
+  }
+  TimeLedger::Global().WriteJson(os);
+  return JsonResponse(200, os.str());
 }
 
 HttpResponse ObservabilityServer::HandleStatusz() {

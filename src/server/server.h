@@ -90,6 +90,7 @@ class ObservabilityServer {
   void WorkerLoop();
   void ServeConnection(int fd);
   HttpResponse HandleMetrics();
+  HttpResponse HandleProfilez(const std::string& query);
   HttpResponse HandleStatusz();
   HttpResponse HandleJobs();
   HttpResponse HandleJob(const std::string& job_id);

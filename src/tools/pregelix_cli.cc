@@ -28,6 +28,7 @@
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/temp_dir.h"
+#include "common/time_ledger.h"
 #include "common/trace.h"
 #include "server/server.h"
 #include "dataflow/cluster.h"
@@ -168,6 +169,10 @@ commands:
       --profile                 collect per-operator plan profiles (see explain)
       --stall-factor=F          warn when a superstep exceeds F x the trailing
                                 mean wall time (default 4, <=0 disables)
+      --time-ledger=on|off      worker time ledger: attribute all wall time of
+                                engine threads to a closed category set with a
+                                conservation check (default on; see /profilez
+                                and explain --time-ledger)
       --verify                  statically verify the job's physical plans
                                 (structure, declared stream properties,
                                 memory budgets) and abort before running if
@@ -191,6 +196,9 @@ commands:
       --top=K                   show the K hottest operators (default 3)
       --profile-json=FILE       export the cumulative plan profile as JSON
                                 (timing-free: byte-identical across runs)
+      --time-ledger             append the worker time-ledger rollup: category
+                                totals, per-operator time and io-wait, and the
+                                hottest contended locks (DESIGN.md section 20)
   verify     static plan verification without running anything (no --dfs or
              input graph needed): builds the load/superstep/dump/checkpoint/
              recovery plans the flags select and checks structure, declared
@@ -211,6 +219,67 @@ global flags:
                                 PREGELIX_LOG_LEVEL environment variable)
 )");
   return 2;
+}
+
+/// `explain --time-ledger`: where every attached engine-thread nanosecond
+/// went (DESIGN.md section 20) — category totals with shares, per-operator
+/// time and io-wait, the hottest contended locks, and the conservation
+/// residue. The same totals /profilez and the Prometheus exposition report.
+void PrintTimeLedger() {
+  const TimeLedgerSnapshot snap = TimeLedger::Global().TakeSnapshot();
+  printf("\n== time ledger ==\n");
+  printf("attached thread time %.3f s over %zu cells; unattributed %lld ns, "
+         "guard misuse %lld\n",
+         static_cast<double>(snap.elapsed_ns) / 1e9, snap.cells.size(),
+         static_cast<long long>(snap.unattributed_ns),
+         static_cast<long long>(snap.misuse_count));
+
+  const double attributed = static_cast<double>(snap.attributed_ns());
+  printf("%-14s %12s %7s\n", "category", "seconds", "share");
+  for (int c = 0; c < kNumTimeCategories; ++c) {
+    if (snap.category_ns[c] == 0) continue;
+    printf("%-14s %12.6f %6.1f%%\n", kTimeCategoryNames[c],
+           static_cast<double>(snap.category_ns[c]) / 1e9,
+           attributed == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(snap.category_ns[c]) /
+                     attributed);
+  }
+
+  // Labeled cells are executor task threads named by operator; unlabeled
+  // ones (pool workers, the driver) are skipped here — the category table
+  // above already covers them.
+  std::map<std::string, int64_t> op_total;
+  for (const TimeLedgerSnapshot::Cell& cell : snap.cells) {
+    if (cell.label.empty()) continue;
+    int64_t total = 0;
+    for (int64_t ns : cell.ns) total += ns;
+    op_total[cell.label] += total;
+  }
+  if (!op_total.empty()) {
+    const std::map<std::string, int64_t> op_io_wait =
+        snap.ByLabel(TimeCategory::kIoWait);
+    printf("\n%-28s %12s %12s\n", "operator", "seconds", "io-wait-s");
+    for (const auto& [label, total_ns] : op_total) {
+      const auto it = op_io_wait.find(label);
+      printf("%-28s %12.6f %12.6f\n", label.c_str(),
+             static_cast<double>(total_ns) / 1e9,
+             it == op_io_wait.end()
+                 ? 0.0
+                 : static_cast<double>(it->second) / 1e9);
+    }
+  }
+
+  if (!snap.locks.empty()) {
+    printf("\n%-20s %12s %10s\n", "lock", "wait-s", "contended");
+    size_t shown = 0;
+    for (const TimeLedgerSnapshot::LockWait& l : snap.locks) {
+      if (++shown > 10) break;
+      printf("%-20s %12.6f %10lld\n", l.name.c_str(),
+             static_cast<double>(l.ns) / 1e9,
+             static_cast<long long>(l.count));
+    }
+  }
 }
 
 /// The `pregelix explain` report: annotated cumulative plan tree, the
@@ -292,6 +361,9 @@ Status PrintExplain(const Flags& flags, const JobResult& result) {
     out.close();
     if (!out.good()) return Status::IoError("short write to " + json_path);
     printf("\nplan profile in %s\n", json_path.c_str());
+  }
+  if (flags.Has("time-ledger") && flags.Get("time-ledger") != "off") {
+    PrintTimeLedger();
   }
   return Status::OK();
 }
@@ -406,6 +478,11 @@ Status VerifyCommand(const Flags& flags) {
 }
 
 Status RunCommand(const Flags& flags, bool explain) {
+  // Disable before any thread attaches: every guard, reattribution, and
+  // lock-wait charge in the process becomes inert.
+  if (flags.Get("time-ledger", "on") == "off") {
+    TimeLedger::Global().SetEnabled(false);
+  }
   DistributedFileSystem dfs(flags.Get("dfs"));
   TempDir scratch("pregelix-cli");
 
@@ -499,12 +576,22 @@ Status RunCommand(const Flags& flags, bool explain) {
   }
   if (!metrics_json.empty() || !metrics_prom.empty()) {
     cluster.PublishMetrics();
+    TimeLedger::Global().PublishMetrics(&registry);
     if (!metrics_json.empty()) {
       PREGELIX_RETURN_NOT_OK(registry.ExportJson(metrics_json));
       printf("metrics in %s\n", metrics_json.c_str());
     }
     if (!metrics_prom.empty()) {
       PREGELIX_RETURN_NOT_OK(registry.ExportPrometheus(metrics_prom));
+      // The ledger exposition rides in the same file, after the registry's
+      // families — the same layout /metrics serves (DESIGN.md section 20).
+      std::ofstream prom(metrics_prom, std::ios::app);
+      if (!prom.is_open()) {
+        return Status::IoError("cannot append to " + metrics_prom);
+      }
+      TimeLedger::Global().WritePrometheus(prom);
+      prom.close();
+      if (!prom.good()) return Status::IoError("short write to " + metrics_prom);
       printf("prometheus metrics in %s\n", metrics_prom.c_str());
     }
   }

@@ -21,6 +21,7 @@
 #include "common/metrics_registry.h"
 #include "common/mutex.h"
 #include "common/temp_dir.h"
+#include "common/time_ledger.h"
 #include "common/trace.h"
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
@@ -77,6 +78,16 @@ class ConcurrencyStressTest : public ::testing::Test {
     fault::FaultInjector::Global().Reset();
     Tracer::Global().Disable();
     Tracer::Global().Clear();
+    // Time-ledger conservation under concurrency stress (DESIGN.md §20):
+    // scrapers and fault reconfiguration racing the jobs must not cost a
+    // nanosecond of attribution or trip a guard off its owner thread.
+    const TimeLedgerSnapshot ledger = TimeLedger::Global().TakeSnapshot();
+    EXPECT_EQ(ledger.misuse_count, 0);
+#ifndef NDEBUG
+    EXPECT_EQ(ledger.unattributed_ns, 0);
+#else
+    EXPECT_LE(ledger.unattributed_ns, 1'000'000);
+#endif
   }
 
   TempDir dir_{"concurrency-stress"};

@@ -25,6 +25,7 @@
 #include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/temp_dir.h"
+#include "common/time_ledger.h"
 #include "dataflow/cluster.h"
 #include "dfs/dfs.h"
 #include "graph/generator.h"
@@ -88,7 +89,20 @@ class TortureTest : public ::testing::Test {
     }
     EXPECT_TRUE(WriteGraph(dfs_, "lollipop", lollipop, 3).ok());
   }
-  ~TortureTest() override { FaultInjector::Global().Reset(); }
+  ~TortureTest() override {
+    FaultInjector::Global().Reset();
+    // Time-ledger conservation under crash torture (DESIGN.md §20): every
+    // fault unwind must still settle every attached nanosecond into exactly
+    // one bucket. Debug builds demand exact zero; release tolerates a sliver
+    // in case a future platform's clock plays games.
+    const TimeLedgerSnapshot ledger = TimeLedger::Global().TakeSnapshot();
+    EXPECT_EQ(ledger.misuse_count, 0);
+#ifndef NDEBUG
+    EXPECT_EQ(ledger.unattributed_ns, 0);
+#else
+    EXPECT_LE(ledger.unattributed_ns, 1'000'000);
+#endif
+  }
 
   /// One job execution in a fresh simulated process.
   Status RunOnce(bool pagerank, const Plan& plan, PregelixJobConfig job,

@@ -21,15 +21,23 @@
 # speedup >= 1.0 (the overlapped pipeline must never lose to phase-serial;
 # DESIGN.md §19).
 #
+# With an eighth and ninth argument — the bench_ledger binary and its JSON
+# output path — it also runs the time-ledger overhead bench in FAST mode and
+# validates the artifact: every experiment's simulated-time delta between
+# ledger-on and ledger-off stays within the 2% gate and the ledger-on arm
+# reports zero unattributed nanoseconds (DESIGN.md §20).
+#
 # usage: bench_smoke.sh <bench_micro_dataflow binary> <output json> \
 #            [pregelix-cli] [bench_adaptive binary] [adaptive json] \
-#            [bench_overlap binary] [overlap json]
+#            [bench_overlap binary] [overlap json] \
+#            [bench_ledger binary] [ledger json]
 
 set -u
 
-if [ "$#" -lt 2 ] || [ "$#" -gt 7 ]; then
+if [ "$#" -lt 2 ] || [ "$#" -gt 9 ]; then
   echo "usage: $0 <bench-binary> <out.json> [pregelix-cli]" \
-       "[bench-adaptive] [adaptive.json] [bench-overlap] [overlap.json]" >&2
+       "[bench-adaptive] [adaptive.json] [bench-overlap] [overlap.json]" \
+       "[bench-ledger] [ledger.json]" >&2
   exit 2
 fi
 BIN="$1"
@@ -39,6 +47,8 @@ ADAPTIVE_BIN="${4:-}"
 ADAPTIVE_OUT="${5:-}"
 OVERLAP_BIN="${6:-}"
 OVERLAP_OUT="${7:-}"
+LEDGER_BIN="${8:-}"
+LEDGER_OUT="${9:-}"
 
 # A tiny min_time runs each benchmark for a single iteration batch. (The
 # pinned google-benchmark predates the `--benchmark_min_time=1x` syntax.)
@@ -121,6 +131,44 @@ for e in experiments:
         sys.exit(f"bench_smoke: overlap speedup {speedup} below 1.0 in {e}")
 print(f"bench_smoke: OK ({len(experiments)} overlap experiments, "
       "speedups >= 1.0)")
+EOF
+fi
+
+# --- Optional: time-ledger overhead bench smoke ------------------------------
+if [ -n "$LEDGER_BIN" ] && [ -n "$LEDGER_OUT" ]; then
+  PREGELIX_BENCH_LEDGER_FAST=1 "$LEDGER_BIN" "$LEDGER_OUT" \
+      > /dev/null || {
+    echo "bench_smoke: $LEDGER_BIN failed" >&2
+    exit 1
+  }
+  python3 - "$LEDGER_OUT" <<'EOF' || exit 1
+import json, math, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+experiments = doc.get("experiments", [])
+if not experiments:
+    sys.exit("bench_smoke: no experiments in ledger JSON")
+gate = doc.get("sim_delta_gate", 0.02)
+algos = set()
+for e in experiments:
+    for key in ("algorithm", "ledger_off_sim_seconds",
+                "ledger_on_sim_seconds", "sim_delta", "wall_ratio",
+                "unattributed_ns"):
+        if key not in e:
+            sys.exit(f"bench_smoke: ledger entry missing '{key}': {e}")
+    delta = e["sim_delta"]
+    if not math.isfinite(delta) or delta > gate:
+        sys.exit(f"bench_smoke: ledger sim delta {delta} exceeds the "
+                 f"{gate} gate in {e}")
+    if e["unattributed_ns"] != 0:
+        sys.exit(f"bench_smoke: ledger-on arm left "
+                 f"{e['unattributed_ns']} unattributed ns in {e}")
+    algos.add(e["algorithm"])
+for required in ("sssp", "pagerank"):
+    if required not in algos:
+        sys.exit(f"bench_smoke: ledger JSON lacks a {required} experiment")
+print(f"bench_smoke: OK ({len(experiments)} ledger experiments, sim deltas "
+      "within the gate, books balanced)")
 EOF
 fi
 

@@ -6,9 +6,10 @@
 #      (-Wthread-safety -Werror), a compile-only proof of the locking
 #      annotations in src/common/thread_annotations.h
 #   2. clang-tidy over src/ with the checked-in .clang-tidy
-#   3. tools/lint_all.py: the four DESIGN.md cross-check lints —
+#   3. tools/lint_all.py: the five DESIGN.md cross-check lints —
 #      fault-injection points (§11), metric names (§10), server endpoints
-#      (§15), and journal categories (§15), each two-way
+#      (§15), journal categories (§15), and time-ledger categories (§20),
+#      each two-way
 #   3b. static plan verification: `pregelix verify` over the built-in
 #      example jobs (DESIGN.md §18; needs the built CLI, skipped otherwise)
 #   4. bench smoke: one short iteration of the kernel microbenchmarks via

@@ -9,6 +9,7 @@ just sequences them and aggregates the exit code:
     lint_metrics        metric registrations    vs DESIGN.md §10
     lint_endpoints      server routes           vs DESIGN.md §15
     lint_journal        journal categories      vs DESIGN.md §15
+    lint_ledger         time-ledger categories  vs DESIGN.md §20
 
 Exit code 0 when every lint is clean; 1 otherwise.
 """
@@ -21,6 +22,7 @@ LINTS = [
     "lint_metrics",
     "lint_endpoints",
     "lint_journal",
+    "lint_ledger",
 ]
 
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Cross-checks time-ledger categories against DESIGN.md section 20.
+
+Two-way contract (stage of `tools/lint_all.py`, wired into the
+`check-static` target):
+
+  1. Every category in the `kTimeCategoryNames` literal in
+     src/common/time_ledger.h appears in the DESIGN.md section-20
+     category table.
+  2. Every category documented in that table appears in
+     `kTimeCategoryNames` (a documented-but-dead bucket is as much a
+     lint error as an undocumented live one).
+
+The category set is *closed* — the conservation invariant
+(sum(categories) == elapsed) only means something if the vocabulary in
+the header, the /profilez surface, the Prometheus `category` label, and
+the documentation are all the same 13 names. This lint pins the docs to
+the header; the compiler pins everything else to the header via the
+TimeCategory enum.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+import lint_common as common
+
+LEDGER_H = common.SRC / "common" / "time_ledger.h"
+
+ARRAY = re.compile(r"kTimeCategoryNames\[[^\]]*\]\s*=\s*\{(.*?)\};", re.S)
+LITERAL = re.compile(r'"([a-z][a-z0-9_]*)"')
+
+# Rows look like:  | `compute` | vertex programs ... |
+TABLE_CATEGORY = re.compile(r"`([a-z][a-z0-9_]*)`")
+
+
+def collect_src_categories():
+    """Categories listed in the kTimeCategoryNames literal."""
+    if not LEDGER_H.exists():
+        sys.stderr.write(f"lint_ledger: {LEDGER_H} does not exist\n")
+        sys.exit(1)
+    match = ARRAY.search(LEDGER_H.read_text())
+    if match is None:
+        sys.stderr.write(
+            "lint_ledger: cannot find the kTimeCategoryNames literal in "
+            f"{LEDGER_H.relative_to(common.REPO)}\n")
+        sys.exit(1)
+    where = f"{LEDGER_H.relative_to(common.REPO)}"
+    return {name: [where] for name in LITERAL.findall(match.group(1))}
+
+
+def main():
+    src = collect_src_categories()
+    design = common.design_table_names(
+        "lint_ledger", "Category table", TABLE_CATEGORY)
+
+    errors = common.two_way_diff(
+        src, design, "time category", "category table", verb="declared")
+
+    return common.report(
+        "lint_ledger", errors,
+        f"{len(src)} categories, src/ and DESIGN.md agree",
+        f"{len(src)} categories in src/, {len(design)} in DESIGN.md")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
